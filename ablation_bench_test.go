@@ -1,0 +1,254 @@
+package tango
+
+// ablation_bench_test.go benchmarks the design choices DESIGN.md calls out,
+// comparing each mechanism against its simpler alternative:
+//
+//   - RTT clustering: gap-split+k-means (Find) vs. fixed-k k-means (FindK)
+//   - size estimator: negative-binomial sampling vs. stage-2 census
+//   - scheduling: greedy dependency barriers vs. the §6 concurrent
+//     cross-switch extension with guard times
+//   - priority handling: sorting vs. enforcement on the same workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tango/internal/cluster"
+	"tango/internal/core/infer"
+	"tango/internal/core/pattern"
+	"tango/internal/core/probe"
+	"tango/internal/core/sched"
+	"tango/internal/switchsim"
+)
+
+// tierSamples fabricates a three-tier RTT population.
+func tierSamples(rng *rand.Rand, n int) []float64 {
+	centres := []float64{0.665, 3.7, 7.5}
+	xs := make([]float64, 0, 3*n)
+	for _, c := range centres {
+		for i := 0; i < n; i++ {
+			xs = append(xs, c*(0.95+rng.Float64()*0.1))
+		}
+	}
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	return xs
+}
+
+func BenchmarkAblationClusterGapKMeans(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := tierSamples(rng, 2000)
+	var found float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.Find(xs, cluster.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		found = float64(len(res.Clusters))
+	}
+	b.ReportMetric(found, "tiers-found(true=3)")
+}
+
+func BenchmarkAblationClusterFixedK(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := tierSamples(rng, 2000)
+	var found float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fixed k=2 guess — what a controller would hardcode without the
+		// gap stage — merges the two slowest tiers.
+		res, err := cluster.FindK(xs, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		found = float64(len(res.Clusters))
+	}
+	b.ReportMetric(found, "tiers-found(true=3)")
+}
+
+// sizeProbeOnce runs Algorithm 1 on a fresh 512-entry FIFO cache.
+func sizeProbeOnce(b *testing.B, seed int64) *infer.SizeResult {
+	b.Helper()
+	p := switchsim.TestSwitch(512, switchsim.PolicyFIFO)
+	p.SoftwareCapacity = 1536
+	e := probe.NewEngine(probe.SimDevice{S: switchsim.New(p, switchsim.WithSeed(seed))})
+	res, err := infer.ProbeSizes(e, infer.SizeOptions{Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkAblationSizeNegBinomial(b *testing.B) {
+	var errPct float64
+	for i := 0; i < b.N; i++ {
+		res := sizeProbeOnce(b, int64(i))
+		errPct = 100 * absf(float64(res.Levels[0].Size-512)) / 512
+	}
+	b.ReportMetric(errPct, "err-%")
+}
+
+func BenchmarkAblationSizeCensus(b *testing.B) {
+	var errPct float64
+	for i := 0; i < b.N; i++ {
+		res := sizeProbeOnce(b, int64(i))
+		errPct = 100 * absf(float64(res.Levels[0].Census-512)) / 512
+	}
+	b.ReportMetric(errPct, "err-%")
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// crossChainWorkload builds 200 two-op chains spanning two switches.
+func crossChainWorkload() *sched.Graph {
+	g := sched.NewGraph()
+	for f := 0; f < 200; f++ {
+		a := g.AddNode(&sched.Request{Switch: "s1", Op: pattern.OpMod, FlowID: uint32(f), Priority: 100, HasPriority: true})
+		bn := g.AddNode(&sched.Request{Switch: "s2", Op: pattern.OpMod, FlowID: uint32(f), Priority: 100, HasPriority: true})
+		if err := g.AddEdge(a, bn); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func ablationDB() *pattern.DB {
+	db := pattern.NewDB()
+	for _, n := range []string{"s1", "s2"} {
+		db.PutScore(&pattern.ScoreCard{
+			SwitchName: n, AddSamePriority: time.Millisecond,
+			AddNewPriority: time.Millisecond, Mod: 6 * time.Millisecond, Del: 2 * time.Millisecond,
+		})
+	}
+	return db
+}
+
+func BenchmarkAblationSchedulerBarriers(b *testing.B) {
+	db := ablationDB()
+	var makespan float64
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Run(crossChainWorkload(), &sched.Tango{DB: db}, sched.CardExecutor{DB: db}, sched.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespan = res.Makespan.Seconds()
+	}
+	b.ReportMetric(makespan, "makespan-s")
+}
+
+func BenchmarkAblationSchedulerConcurrent(b *testing.B) {
+	db := ablationDB()
+	var makespan float64
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Run(crossChainWorkload(), &sched.Tango{DB: db}, sched.CardExecutor{DB: db},
+			sched.RunOptions{Concurrent: true, GuardTime: 500 * time.Microsecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespan = res.Makespan.Seconds()
+	}
+	b.ReportMetric(makespan, "makespan-s")
+}
+
+// forkJoinWorkload builds 100 groups of {slow independent op on s1; cheap
+// op on s2 unlocking an expensive successor on s2} — the shape where
+// non-greedy prefix batching beats greedy whole-set issue.
+func forkJoinWorkload() *sched.Graph {
+	g := sched.NewGraph()
+	for f := 0; f < 100; f++ {
+		g.AddNode(&sched.Request{Switch: "s1", Op: pattern.OpMod, FlowID: uint32(f), Priority: 1, HasPriority: true})
+		bn := g.AddNode(&sched.Request{Switch: "s2", Op: pattern.OpDel, FlowID: uint32(f), Priority: 1, HasPriority: true})
+		cn := g.AddNode(&sched.Request{Switch: "s2", Op: pattern.OpMod, FlowID: uint32(1000 + f), Priority: 1, HasPriority: true})
+		if err := g.AddEdge(bn, cn); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func nonGreedyDB() *pattern.DB {
+	db := pattern.NewDB()
+	for _, n := range []string{"s1", "s2"} {
+		db.PutScore(&pattern.ScoreCard{SwitchName: n,
+			AddSamePriority: time.Millisecond, AddNewPriority: time.Millisecond,
+			Mod: 10 * time.Millisecond, Del: time.Millisecond})
+	}
+	return db
+}
+
+func BenchmarkAblationGreedyBatching(b *testing.B) {
+	db := nonGreedyDB()
+	var makespan float64
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Run(forkJoinWorkload(), &sched.Tango{DB: db}, sched.CardExecutor{DB: db}, sched.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespan = res.Makespan.Seconds()
+	}
+	b.ReportMetric(makespan, "makespan-s")
+}
+
+func BenchmarkAblationNonGreedyBatching(b *testing.B) {
+	db := nonGreedyDB()
+	var makespan float64
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Run(forkJoinWorkload(), &sched.Tango{DB: db}, sched.CardExecutor{DB: db}, sched.RunOptions{NonGreedy: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespan = res.Makespan.Seconds()
+	}
+	b.ReportMetric(makespan, "makespan-s")
+}
+
+// descendingAdds is the worst-case priority workload on one switch.
+func descendingAdds(n int) *sched.Graph {
+	g := sched.NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddNode(&sched.Request{
+			Switch: "s1", Op: pattern.OpAdd,
+			FlowID: uint32(1000 + i), Priority: uint16(20000 - i), HasPriority: true,
+		})
+	}
+	return g
+}
+
+func runPrioAblation(b *testing.B, sortPriorities bool) float64 {
+	b.Helper()
+	db := pattern.NewDB()
+	db.PutScore(&pattern.ScoreCard{
+		SwitchName: "s1", AddSamePriority: 400 * time.Microsecond,
+		AddNewPriority: 900 * time.Microsecond, ShiftPerEntry: 14 * time.Microsecond,
+		Mod: 6 * time.Millisecond, Del: 2 * time.Millisecond,
+	})
+	e := probe.NewEngine(probe.SimDevice{S: switchsim.New(switchsim.Switch1(), switchsim.WithSeed(1))})
+	res, err := sched.Run(descendingAdds(800), &sched.Tango{DB: db, SortPriorities: sortPriorities},
+		sched.EngineExecutor{"s1": e}, sched.RunOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Makespan.Seconds()
+}
+
+func BenchmarkAblationPrioritySortingOff(b *testing.B) {
+	var makespan float64
+	for i := 0; i < b.N; i++ {
+		makespan = runPrioAblation(b, false)
+	}
+	b.ReportMetric(makespan, "makespan-s")
+}
+
+func BenchmarkAblationPrioritySortingOn(b *testing.B) {
+	var makespan float64
+	for i := 0; i < b.N; i++ {
+		makespan = runPrioAblation(b, true)
+	}
+	b.ReportMetric(makespan, "makespan-s")
+}

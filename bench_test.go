@@ -1,0 +1,211 @@
+package tango
+
+// bench_test.go holds one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its experiment on emulated
+// switches (virtual time, so wall time measures the framework, not the
+// simulated network) and reports the headline quantity of that experiment
+// as a custom metric, so `go test -bench` doubles as the reproduction run:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/tangobench prints the full rows/series; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"tango/internal/experiments"
+)
+
+// cell parses "1.234s" or "12.3%" table cells into a float.
+func cell(b *testing.B, s string) float64 {
+	b.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "s"), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1()
+		if len(t.Rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs := experiments.Figure2()
+		if len(figs) != 3 {
+			b.Fatal("bad figures")
+		}
+	}
+}
+
+func BenchmarkFigure3a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Figure3a(3)
+		if len(t.Rows) != 6 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFigure3b(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Figure3b([]int{500, 2000, 5000})
+		var add, mod float64
+		for _, s := range fig.Series {
+			if s.Name == "add flow (Switch#1)" {
+				add = s.Y[len(s.Y)-1]
+			}
+			if s.Name == "mod flow (Switch#1)" {
+				mod = s.Y[len(s.Y)-1]
+			}
+		}
+		ratio = add / mod
+	}
+	b.ReportMetric(ratio, "add/mod@5000")
+}
+
+func BenchmarkFigure3c(b *testing.B) {
+	var boost float64
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Figure3c([]int{2000})
+		var same, desc float64
+		for _, s := range fig.Series {
+			switch s.Name {
+			case "same priority (Switch#1)":
+				same = s.Y[0]
+			case "descending priority (Switch#1)":
+				desc = s.Y[0]
+			}
+		}
+		boost = desc / same
+	}
+	b.ReportMetric(boost, "desc/same@2000")
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Figure5()
+		if len(fig.Series[0].Y) != 2500 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Figure6()
+		if len(fig.Series) != 4 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkSizeInference(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.SizeAccuracy()
+		worst = 0
+		for _, row := range t.Rows {
+			if v := cell(b, row[4]); v > worst {
+				worst = v
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-err-%")
+}
+
+func BenchmarkPolicyInference(b *testing.B) {
+	var correct float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.PolicyAccuracy()
+		correct = 0
+		for _, row := range t.Rows[:4] {
+			if row[2] == "yes" {
+				correct++
+			}
+		}
+	}
+	b.ReportMetric(correct, "correct-of-4")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table2()
+		if len(t.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs := experiments.Figure8(3)
+		if len(figs) != 3 {
+			b.Fatal("bad figures")
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	var win float64
+	for i := 0; i < b.N; i++ {
+		figs := experiments.Figure9(3)
+		// Headline: Topo Asc vs Topo Rand improvement on file 1.
+		var opt, rnd float64
+		for _, s := range figs[0].Series {
+			var sum float64
+			for _, y := range s.Y {
+				sum += y
+			}
+			mean := sum / float64(len(s.Y))
+			switch s.Name {
+			case "Topo Asc":
+				opt = mean
+			case "Topo Rand":
+				rnd = mean
+			}
+		}
+		win = 100 * (1 - opt/rnd)
+	}
+	b.ReportMetric(win, "improv-%")
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	var lfImprove float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Figure10()
+		lfImprove = cell(b, t.Rows[0][4])
+	}
+	b.ReportMetric(lfImprove, "LF-improv-%")
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	var enfWin float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Figure11()
+		dio := cell(b, t.Rows[0][1])
+		enf := cell(b, t.Rows[0][3])
+		enfWin = 100 * (1 - enf/dio)
+	}
+	b.ReportMetric(enfWin, "addonly-enforce-improv-%")
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	var improve float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Figure12(600)
+		improve = cell(b, t.Rows[1][2])
+	}
+	b.ReportMetric(improve, "improv-%")
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"ovs", "switch1", "switch2", "switch3", "fig5"} {
+		p, err := profileByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name == "" {
+			t.Fatalf("%s: empty profile", name)
+		}
+	}
+	if _, err := profileByName("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

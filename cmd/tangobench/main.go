@@ -1,0 +1,176 @@
+// Command tangobench regenerates every table and figure of the paper's
+// evaluation from the emulated testbed and prints the rows/series the paper
+// reports. With -out it also writes one whitespace-separated .dat file per
+// series, ready for gnuplot.
+//
+//	tangobench                  # run everything
+//	tangobench -only f3c,f10    # run a subset
+//	tangobench -runs 3          # fewer repeat runs for the 10-run figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"tango/internal/experiments"
+)
+
+// experiment is one runnable table/figure driver.
+type experiment struct {
+	id   string
+	desc string
+	run  func(runs int) []fmt.Stringer
+}
+
+func catalog() []experiment {
+	tab := func(f func() *experiments.Table) func(int) []fmt.Stringer {
+		return func(int) []fmt.Stringer { return []fmt.Stringer{f()} }
+	}
+	figs := func(f func(int) []*experiments.Figure) func(int) []fmt.Stringer {
+		return func(runs int) []fmt.Stringer {
+			var out []fmt.Stringer
+			for _, fg := range f(runs) {
+				out = append(out, fg)
+			}
+			return out
+		}
+	}
+	return []experiment{
+		{"table1", "Table 1: table types and sizes", tab(experiments.Table1)},
+		{"f2", "Figure 2: delay tiers on OVS / Switch#1 / Switch#2", func(int) []fmt.Stringer {
+			var out []fmt.Stringer
+			for _, fg := range experiments.Figure2() {
+				out = append(out, fg)
+			}
+			return out
+		}},
+		{"f3a", "Figure 3(a): add/mod/del permutations", func(runs int) []fmt.Stringer {
+			return []fmt.Stringer{experiments.Figure3a(runs)}
+		}},
+		{"f3b", "Figure 3(b): add vs modify", func(int) []fmt.Stringer {
+			return []fmt.Stringer{experiments.Figure3b(nil)}
+		}},
+		{"f3c", "Figure 3(c): priority orderings", func(int) []fmt.Stringer {
+			return []fmt.Stringer{experiments.Figure3c(nil)}
+		}},
+		{"f5", "Figure 5: RTT tiers on Switch#2", func(int) []fmt.Stringer {
+			return []fmt.Stringer{experiments.Figure5()}
+		}},
+		{"f6", "Figure 6: policy-probe initialization pattern", func(int) []fmt.Stringer {
+			return []fmt.Stringer{experiments.Figure6()}
+		}},
+		{"sizeacc", "Size-inference accuracy (<5% headline)", tab(experiments.SizeAccuracy)},
+		{"policyacc", "Policy-inference accuracy", tab(experiments.PolicyAccuracy)},
+		{"reported", "Switch-reported vs inferred capacity", tab(experiments.ReportedVsInferred)},
+		{"qos", "Cache policy × traffic: fast-path hit rates", tab(experiments.CacheHitRates)},
+		{"table2", "Table 2: ClassBench files", tab(experiments.Table2)},
+		{"f8", "Figure 8: OVS scheduling scenarios", figs(experiments.Figure8)},
+		{"f9", "Figure 9: Switch#1 scheduling scenarios", figs(experiments.Figure9)},
+		{"f10", "Figure 10: testbed LF/TE scenarios", tab(experiments.Figure10)},
+		{"f11", "Figure 11: priority sorting vs enforcement", tab(experiments.Figure11)},
+		{"f12", "Figure 12: B4 TE on OVS", func(int) []fmt.Stringer {
+			return []fmt.Stringer{experiments.Figure12(0)}
+		}},
+	}
+}
+
+func main() {
+	var (
+		only = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		runs = flag.Int("runs", 10, "repeat runs for the multi-run figures")
+		out  = flag.String("out", "", "directory to write .dat series files into")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	cat := catalog()
+	if *list {
+		for _, e := range cat {
+			fmt.Printf("%-10s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id != "" {
+			selected[id] = true
+		}
+	}
+	if len(selected) > 0 {
+		known := map[string]bool{}
+		for _, e := range cat {
+			known[e.id] = true
+		}
+		var unknown []string
+		for id := range selected {
+			if !known[id] {
+				unknown = append(unknown, id)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "tangobench: unknown experiment(s): %s (use -list)\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+	}
+
+	for _, e := range cat {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		start := time.Now()
+		results := e.run(*runs)
+		for _, r := range results {
+			fmt.Println(r)
+			if *out != "" {
+				if err := writeDat(*out, e.id, r); err != nil {
+					fmt.Fprintf(os.Stderr, "tangobench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("[%s done in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeDat dumps figures as per-series gnuplot .dat files and tables as a
+// single .txt file.
+func writeDat(dir, id string, r fmt.Stringer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	switch v := r.(type) {
+	case *experiments.Figure:
+		for _, s := range v.Series {
+			name := sanitize(id + "_" + s.Name)
+			var b strings.Builder
+			fmt.Fprintf(&b, "# %s — %s\n", v.Title, s.Name)
+			for i := range s.X {
+				fmt.Fprintf(&b, "%g %g\n", s.X[i], s.Y[i])
+			}
+			if err := os.WriteFile(filepath.Join(dir, name+".dat"), []byte(b.String()), 0o644); err != nil {
+				return err
+			}
+		}
+	case *experiments.Table:
+		name := sanitize(id)
+		return os.WriteFile(filepath.Join(dir, name+".txt"), []byte(v.String()), 0o644)
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

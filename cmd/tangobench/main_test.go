@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tango/internal/experiments"
+)
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("f3c_same priority (OVS)"); strings.ContainsAny(got, " ()") {
+		t.Fatalf("sanitize left specials: %q", got)
+	}
+}
+
+func TestCatalogIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range catalog() {
+		if seen[e.id] {
+			t.Fatalf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+	}
+	for _, id := range []string{"table1", "f2", "f3c", "f10", "f12", "qos", "reported"} {
+		if !seen[id] {
+			t.Fatalf("missing experiment id %q", id)
+		}
+	}
+}
+
+func TestWriteDat(t *testing.T) {
+	dir := t.TempDir()
+	fig := &experiments.Figure{
+		Title:  "t",
+		Series: []experiments.Series{{Name: "s one", X: []float64{1, 2}, Y: []float64{3, 4}}},
+	}
+	if err := writeDat(dir, "exp", fig); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "exp_s_one.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "1 3\n2 4\n") {
+		t.Fatalf("dat content: %q", data)
+	}
+	tab := &experiments.Table{Title: "tt", Header: []string{"a"}, Rows: [][]string{{"1"}}}
+	if err := writeDat(dir, "tab", tab); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tab.txt")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ovs", "switch1", "switch2", "switch3"} {
+		if _, err := byName(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := byName("zz"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"fifo", "lru", "lfu", "priority"} {
+		p, err := policyByName(name)
+		if err != nil || len(p.Keys) == 0 {
+			t.Fatalf("%s: %v %v", name, p, err)
+		}
+	}
+	if _, err := policyByName("zz"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

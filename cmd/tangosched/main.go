@@ -1,0 +1,110 @@
+// Command tangosched runs the network-wide scheduling scenarios of §7.2 —
+// link failure and traffic engineering on the triangle hardware testbed —
+// and prints a scheduler comparison.
+//
+//	tangosched -scenario lf -flows 400
+//	tangosched -scenario te -requests 800 -ratio 2:1:1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tango/internal/core/sched"
+	"tango/internal/experiments"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "lf", "scenario: lf (link failure) or te (traffic engineering)")
+		flows    = flag.Int("flows", 400, "rerouted flows for -scenario lf")
+		requests = flag.Int("requests", 800, "total requests for -scenario te")
+		ratio    = flag.String("ratio", "2:1:1", "add:mod:del ratio for -scenario te")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	profiles := experiments.TestbedProfiles()
+	fmt.Println("probing testbed switches for score cards...")
+	db := experiments.BuildScoreDB(profiles)
+	for _, name := range db.Switches() {
+		card, _ := db.Score(name)
+		fmt.Printf("  %s: add=%v addNew=%v shift=%v/entry mod=%v del=%v typeSwitch=%v\n",
+			name,
+			card.AddSamePriority.Round(time.Microsecond),
+			card.AddNewPriority.Round(time.Microsecond),
+			card.ShiftPerEntry.Round(time.Microsecond),
+			card.Mod.Round(time.Microsecond),
+			card.Del.Round(time.Microsecond),
+			card.TypeSwitch.Round(time.Microsecond))
+	}
+	fmt.Println()
+
+	build := func() (*sched.Graph, map[string]experiments.PreloadSpec) {
+		switch *scenario {
+		case "lf":
+			return experiments.LFScenario(*flows, *seed)
+		case "te":
+			a, m, d, err := parseRatio(*ratio)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			return experiments.TEScenario(*requests, a, m, d, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "tangosched: unknown scenario %q\n", *scenario)
+			os.Exit(2)
+			return nil, nil
+		}
+	}
+
+	_, preload := build()
+	existing := experiments.ExistingHigherFor(preload)
+	schedulers := []sched.Scheduler{
+		sched.Dionysus{},
+		&sched.Tango{DB: db, ExistingHigher: existing},
+		&sched.Tango{DB: db, SortPriorities: true, ExistingHigher: existing},
+	}
+	var base time.Duration
+	for i, s := range schedulers {
+		g, pl := build()
+		ex := experiments.ExecutorFor(profiles, pl, 5)
+		res, err := sched.Run(g, s, ex, sched.RunOptions{})
+		if err != nil {
+			log.Fatalf("tangosched: %v", err)
+		}
+		d := res.Makespan
+		if i == 0 {
+			base = d
+			fmt.Printf("%-22s %v (%d rounds)\n", s.Name(), d.Round(time.Millisecond), res.Rounds)
+		} else {
+			imp := 100 * (1 - d.Seconds()/base.Seconds())
+			fmt.Printf("%-22s %v (%d rounds, %.1f%% faster than dionysus)\n",
+				s.Name(), d.Round(time.Millisecond), res.Rounds, imp)
+		}
+	}
+}
+
+func parseRatio(s string) (a, m, d int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("tangosched: ratio must be a:m:d, got %q", s)
+	}
+	vals := make([]int, 3)
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return 0, 0, 0, fmt.Errorf("tangosched: bad ratio component %q", p)
+		}
+		vals[i] = v
+	}
+	if vals[0]+vals[1]+vals[2] == 0 {
+		return 0, 0, 0, fmt.Errorf("tangosched: ratio cannot be all zero")
+	}
+	return vals[0], vals[1], vals[2], nil
+}

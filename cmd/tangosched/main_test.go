@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestParseRatio(t *testing.T) {
+	a, m, d, err := parseRatio("2:1:1")
+	if err != nil || a != 2 || m != 1 || d != 1 {
+		t.Fatalf("got %d:%d:%d err=%v", a, m, d, err)
+	}
+	for _, bad := range []string{"", "1:2", "1:2:3:4", "x:1:1", "-1:1:1", "0:0:0"} {
+		if _, _, _, err := parseRatio(bad); err == nil {
+			t.Errorf("ratio %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package tango is a Go implementation of Tango ("Tango: Simplifying SDN
+// Control with Automatic Switch Property Inference, Abstraction, and
+// Optimization", CoNEXT 2014): an SDN control framework that copes with
+// switch implementation diversity by measuring switches instead of trusting
+// their self-reports.
+//
+// Tango probes a switch through its standard OpenFlow interface with
+// *Tango patterns* — sequences of flow-mod commands paired with matching
+// data traffic — and infers from the measurements:
+//
+//   - the number of flow-table layers and the size of each one
+//     (TCAM vs. kernel vs. user-space tables), via RTT clustering and a
+//     negative-binomial sampling estimator;
+//   - the cache-replacement policy governing which rules live in the fast
+//     hardware table, as a lexicographic composite of monotone attribute
+//     orders (FIFO, LRU, LFU, priority, and combinations);
+//   - the control-channel cost model: what additions, modifications, and
+//     deletions cost, and how installation order — especially rule
+//     priority order — changes the bill.
+//
+// A network scheduler then uses the inferred score cards to order rule
+// updates per switch (delete/modify/add grouping, ascending-priority
+// installation, priority enforcement), beating diversity-oblivious
+// schedulers such as critical-path (Dionysus-style) scheduling.
+//
+// The package exposes the high-level API: Inspect to fingerprint a device,
+// NewEmulatedSwitch for the four calibrated vendor models the paper
+// measures, and Schedule to drain a dependency DAG of switch requests.
+// Deeper control lives in the internal packages; see DESIGN.md for the
+// layout and EXPERIMENTS.md for the paper-vs-measured record.
+package tango

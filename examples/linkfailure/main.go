@@ -1,0 +1,112 @@
+// Link failure on the triangle testbed (§7.2, Figure 10): the s1–s2 link
+// fails and 400 flows must reroute via s3. Tango first probes each switch
+// to build score cards, then schedules the rule updates — adds on the
+// Vendor #3 switch, next-hop modifications on the Vendor #1 switch, in
+// reverse-path order — and beats the diversity-oblivious critical-path
+// (Dionysus-style) baseline by sorting the additions into ascending
+// priority order.
+//
+//	go run ./examples/linkfailure
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"tango"
+	"tango/internal/core/infer"
+	"tango/internal/core/pattern"
+	"tango/internal/core/probe"
+	"tango/internal/core/sched"
+	"tango/internal/switchsim"
+	"tango/internal/topo"
+)
+
+const reroutedFlows = 400
+
+func main() {
+	net := topo.Triangle()
+	fmt.Println("triangle testbed: s1, s2 (Vendor #1), s3 (Vendor #3)")
+	fmt.Printf("before: 400 flows on path %v\n", net.ShortestPath("s1", "s2"))
+	net.RemoveLink("s1", "s2")
+	newPath := net.ShortestPath("s1", "s2")
+	fmt.Printf("link s1-s2 FAILED; new path %v\n\n", newPath)
+
+	profiles := map[string]switchsim.Profile{
+		"s1": switchsim.Switch1(),
+		"s2": switchsim.Switch1(),
+		"s3": switchsim.Switch3().WithTCAMCapacity(2048),
+	}
+
+	// Phase 1: probe each switch for its cost card.
+	db := tango.NewDB()
+	for name, prof := range profiles {
+		e := probe.NewEngine(probe.SimDevice{S: switchsim.New(prof, switchsim.WithSeed(7))})
+		card, err := infer.MeasureCosts(e, name, infer.CostOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		db.PutScore(card)
+		fmt.Printf("probed %s: addNew=%v shift=%v/entry mod=%v\n", name,
+			card.AddNewPriority.Round(time.Microsecond),
+			card.ShiftPerEntry.Round(time.Microsecond),
+			card.Mod.Round(time.Microsecond))
+	}
+	fmt.Println()
+
+	// Phase 2: schedule the reroute under three schedulers.
+	schedulers := []sched.Scheduler{
+		sched.Dionysus{},
+		&sched.Tango{DB: db},
+		&sched.Tango{DB: db, SortPriorities: true},
+	}
+	var base time.Duration
+	for i, s := range schedulers {
+		d, err := runOnce(profiles, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = d
+			fmt.Printf("%-24s %8v\n", s.Name(), d.Round(time.Millisecond))
+			continue
+		}
+		fmt.Printf("%-24s %8v  (%.0f%% faster)\n", s.Name(),
+			d.Round(time.Millisecond), 100*(1-d.Seconds()/base.Seconds()))
+	}
+}
+
+// runOnce builds the reroute DAG and executes it on fresh switches.
+func runOnce(profiles map[string]switchsim.Profile, s sched.Scheduler) (time.Duration, error) {
+	g := sched.NewGraph()
+	rng := rand.New(rand.NewSource(1))
+	prios := rng.Perm(reroutedFlows)
+	for f := 0; f < reroutedFlows; f++ {
+		// New transit rule at s3 first (reverse-path), then flip s1.
+		add := g.AddNode(&sched.Request{
+			Switch: "s3", Op: pattern.OpAdd,
+			FlowID: uint32(10000 + f), Priority: uint16(1000 + prios[f]), HasPriority: true,
+		})
+		mod := g.AddNode(&sched.Request{
+			Switch: "s1", Op: pattern.OpMod,
+			FlowID: uint32(f), Priority: 100, HasPriority: true,
+		})
+		if err := g.AddEdge(add, mod); err != nil {
+			return 0, err
+		}
+	}
+	engines := map[string]*tango.Engine{}
+	for name, prof := range profiles {
+		e := probe.NewEngine(probe.SimDevice{S: switchsim.New(prof, switchsim.WithSeed(5))})
+		// The 400 flows' existing rules on s1/s2.
+		for f := 0; f < reroutedFlows; f++ {
+			if err := e.Install(uint32(f), 100); err != nil {
+				return 0, err
+			}
+		}
+		engines[name] = e
+	}
+	return tango.Schedule(g, s, engines)
+}

@@ -1,0 +1,68 @@
+// Quickstart: fingerprint an emulated switch with Tango's inference
+// pipeline and print what it learned — table layers and sizes, the cache
+// replacement policy, and the control-channel cost card.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tango"
+	"tango/internal/switchsim"
+)
+
+func main() {
+	// A mystery switch: a 512-entry TCAM cache managed with an LFU policy
+	// over an unbounded software table. Tango gets no hints — only the
+	// OpenFlow control channel and probe packets.
+	profile := switchsim.TestSwitch(512, tango.PolicyLFU)
+	profile.SoftwareCapacity = 1536
+	sw := tango.NewEmulatedSwitch(profile, switchsim.WithSeed(2024))
+
+	fmt.Println("probing the switch (sizes → caching style → policy → costs)...")
+	start := time.Now()
+	model, err := tango.Inspect(tango.EngineFor(sw).Device(), tango.InspectOptions{Name: "mystery-switch"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %v of wall time (%v of simulated switch time)\n\n",
+		time.Since(start).Round(time.Millisecond), sw.Now().Sub(startOfTime(sw)))
+
+	fmt.Println(model)
+	fmt.Println()
+	for i, l := range model.Sizes.Levels {
+		fmt.Printf("  flow-table layer %d: ≈%d entries, mean RTT %v\n",
+			i, l.Size, l.MeanRTT.Round(10*time.Microsecond))
+	}
+	if model.Policy != nil {
+		fmt.Printf("  cache policy: %s\n", model.Policy.Policy)
+	}
+	fmt.Printf("  add (same priority):  %v\n", model.Costs.AddSamePriority.Round(time.Microsecond))
+	fmt.Printf("  add (new priority):   %v\n", model.Costs.AddNewPriority.Round(time.Microsecond))
+	fmt.Printf("  shift per displaced:  %v\n", model.Costs.ShiftPerEntry.Round(100*time.Nanosecond))
+	fmt.Printf("  modify:               %v\n", model.Costs.Mod.Round(time.Microsecond))
+	fmt.Printf("  delete:               %v\n", model.Costs.Del.Round(time.Microsecond))
+
+	// The payoff: with the fitted score card, the scheduler knows that on
+	// this switch 1000 descending-priority adds are far dearer than the
+	// same adds ascending.
+	desc := descendingCost(model.Costs, 1000)
+	asc := ascendingCost(model.Costs, 1000)
+	fmt.Printf("\npredicted cost of 1000 adds: descending %v vs ascending %v (%.0fx)\n",
+		desc.Round(time.Millisecond), asc.Round(time.Millisecond), float64(desc)/float64(asc))
+}
+
+func startOfTime(sw *tango.Switch) time.Time {
+	return time.Date(2014, time.December, 2, 0, 0, 0, 0, time.UTC)
+}
+
+func descendingCost(c *tango.ScoreCard, n int) time.Duration {
+	return time.Duration(n)*c.AddNewPriority + time.Duration(n*(n-1)/2)*c.ShiftPerEntry
+}
+
+func ascendingCost(c *tango.ScoreCard, n int) time.Duration {
+	return time.Duration(n) * c.AddNewPriority
+}

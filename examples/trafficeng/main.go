@@ -1,0 +1,115 @@
+// Traffic engineering on the B4 backbone (§7.2, Figure 12): a traffic
+// matrix change makes the max-min fair allocator move flows to alternate
+// paths; the resulting rule changes — with reverse-path consistency
+// dependencies — are scheduled network-wide under Dionysus and Tango.
+//
+//	go run ./examples/trafficeng
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"tango"
+	"tango/internal/core/infer"
+	"tango/internal/core/probe"
+	"tango/internal/core/sched"
+	"tango/internal/switchsim"
+	"tango/internal/topo"
+	"tango/internal/update"
+)
+
+const flows = 1000
+
+func main() {
+	g := topo.B4()
+	nodes := g.Nodes()
+	fmt.Printf("B4 backbone: %d sites, OVS at every site\n", len(nodes))
+	rng := rand.New(rand.NewSource(42))
+
+	// Initial demands on shortest paths.
+	demands := make([]topo.Demand, flows)
+	before := topo.Allocation{}
+	for i := range demands {
+		src, dst := nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))]
+		for dst == src {
+			dst = nodes[rng.Intn(len(nodes))]
+		}
+		demands[i] = topo.Demand{FlowID: uint32(i), Src: src, Dst: dst, Rate: float64(1 + rng.Intn(5))}
+		before[uint32(i)] = g.ShortestPath(src, dst)
+	}
+	oldRates := topo.MaxMinFair(g, before, demands)
+
+	// Traffic spike: half the flows triple their demand; starved flows are
+	// moved to their second path by the TE controller.
+	after := topo.Allocation{}
+	moved := 0
+	for i := range demands {
+		f := uint32(i)
+		after[f] = before[f]
+		if i%2 == 0 {
+			demands[i].Rate *= 3
+		}
+		if oldRates[f] < demands[i].Rate {
+			if alts := g.KShortestPaths(demands[i].Src, demands[i].Dst, 2); len(alts) == 2 {
+				after[f] = alts[1]
+				moved++
+			}
+		}
+	}
+	newRates := topo.MaxMinFair(g, after, demands)
+	var oldSum, newSum float64
+	for _, d := range demands {
+		oldSum += oldRates[d.FlowID]
+		newSum += newRates[d.FlowID]
+	}
+	changes := topo.DiffAssignments(before, after)
+	fmt.Printf("TM change: %d/%d flows rerouted, Σrate %.0f → %.0f, %d rule changes\n\n",
+		moved, flows, oldSum, newSum, len(changes))
+
+	// One probe suffices: all sites run the same OVS build.
+	db := tango.NewDB()
+	e := probe.NewEngine(probe.SimDevice{S: switchsim.New(switchsim.OVS(), switchsim.WithSeed(7))})
+	card, err := infer.MeasureCosts(e, "ovs", infer.CostOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range nodes {
+		c := *card
+		c.SwitchName = n
+		db.PutScore(&c)
+	}
+
+	var base time.Duration
+	for i, s := range []sched.Scheduler{sched.Dionysus{}, &sched.Tango{DB: db, SortPriorities: true}} {
+		d, err := run(changes, nodes, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = d
+			fmt.Printf("%-24s %8v\n", s.Name(), d.Round(time.Millisecond))
+			continue
+		}
+		fmt.Printf("%-24s %8v  (%.1f%% faster)\n", s.Name(),
+			d.Round(time.Millisecond), 100*(1-d.Seconds()/base.Seconds()))
+	}
+}
+
+// run plans the diff as a consistent-update DAG and executes it on
+// per-site OVS engines.
+func run(changes []topo.RuleChange, nodes []string, s sched.Scheduler) (time.Duration, error) {
+	g, err := update.Plan(changes, update.PlanOptions{
+		FlowIDBase: 50000, AssignPriorities: true, Seed: 9,
+	})
+	if err != nil {
+		return 0, err
+	}
+	engines := map[string]*tango.Engine{}
+	for _, n := range nodes {
+		engines[n] = probe.NewEngine(probe.SimDevice{S: switchsim.New(switchsim.OVS(), switchsim.WithSeed(3))})
+	}
+	return tango.Schedule(g, s, engines)
+}

@@ -1,0 +1,367 @@
+// Package cluster implements one-dimensional clustering of round-trip-time
+// samples. The Tango inference engine clusters probe RTTs to discover how
+// many flow-table layers a switch has (§5.2 of the paper: "We cluster the RTT
+// to determine the number of flow table layers — each cluster corresponds to
+// one layer").
+//
+// The algorithm is a two-stage hybrid:
+//
+//  1. Gap splitting: sort the samples and cut at every inter-sample gap that
+//     is large relative to the sample spread. Well-separated latency tiers
+//     (fast path vs. slow path vs. control path differ by 5–10x) produce
+//     unambiguous gaps, and this stage also chooses the number of clusters.
+//  2. 1-D k-means (Lloyd's algorithm) refinement seeded with the gap-split
+//     centroids, which cleans up boundaries when tiers have wide, skewed
+//     latency distributions.
+package cluster
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Cluster describes one latency tier found in a sample set.
+type Cluster struct {
+	// Mean is the centroid of the cluster.
+	Mean float64
+	// Min and Max bound the members of the cluster.
+	Min, Max float64
+	// Count is the number of samples assigned to the cluster.
+	Count int
+}
+
+// Result is the outcome of clustering: tiers sorted by ascending mean and an
+// assignment from each input sample index to its tier index.
+type Result struct {
+	Clusters   []Cluster
+	Assignment []int
+}
+
+// Options tunes Find. The zero value selects sensible defaults.
+type Options struct {
+	// MaxClusters caps how many tiers may be reported. Zero means 4 (TCAM,
+	// kernel, user space, control path is the deepest hierarchy the switch
+	// model produces).
+	MaxClusters int
+	// GapFactor is the multiple of the mean inter-sample gap above which a
+	// gap becomes a cluster boundary. Zero means 8.
+	GapFactor float64
+	// MinSeparation is an absolute floor for boundary gaps, guarding against
+	// splitting clusters of near-identical samples whose mean gap is ~0.
+	// Zero means 10% of the full sample range.
+	MinSeparation float64
+	// KMeansIterations bounds the refinement loop. Zero means 32.
+	KMeansIterations int
+}
+
+func (o Options) withDefaults(span float64) Options {
+	if o.MaxClusters == 0 {
+		o.MaxClusters = 4
+	}
+	if o.GapFactor == 0 {
+		o.GapFactor = 8
+	}
+	if o.MinSeparation == 0 {
+		o.MinSeparation = span * 0.10
+	}
+	if o.KMeansIterations == 0 {
+		o.KMeansIterations = 32
+	}
+	return o
+}
+
+// ErrEmpty is returned when no samples are supplied.
+var ErrEmpty = errors.New("cluster: no samples")
+
+// Find clusters xs into latency tiers. The returned tiers are sorted by
+// ascending mean; Assignment[i] gives the tier of xs[i].
+func Find(xs []float64, opts Options) (Result, error) {
+	if len(xs) == 0 {
+		return Result{}, ErrEmpty
+	}
+	ss := make([]sample, len(xs))
+	for i, v := range xs {
+		ss[i] = sample{v, i}
+	}
+	sort.Slice(ss, func(a, b int) bool { return ss[a].v < ss[b].v })
+
+	span := ss[len(ss)-1].v - ss[0].v
+	opts = opts.withDefaults(span)
+
+	// Stage 1: find boundaries at large gaps.
+	boundaries := gapBoundaries(ss, opts)
+
+	// Build initial centroids from the gap segments.
+	centroids := make([]float64, 0, len(boundaries)+1)
+	start := 0
+	for _, b := range append(boundaries, len(ss)) {
+		var sum float64
+		for i := start; i < b; i++ {
+			sum += ss[i].v
+		}
+		centroids = append(centroids, sum/float64(b-start))
+		start = b
+	}
+
+	// Stage 2: k-means refinement on the sorted values.
+	values := make([]float64, len(ss))
+	for i, s := range ss {
+		values[i] = s.v
+	}
+	assignSorted := kmeans1D(values, centroids, opts.KMeansIterations)
+
+	// Assemble clusters and map assignments back to input order.
+	k := len(centroids)
+	clusters := make([]Cluster, k)
+	for i := range clusters {
+		clusters[i].Min = math.Inf(1)
+		clusters[i].Max = math.Inf(-1)
+	}
+	assignment := make([]int, len(xs))
+	sums := make([]float64, k)
+	for i, s := range ss {
+		c := assignSorted[i]
+		assignment[s.idx] = c
+		cl := &clusters[c]
+		cl.Count++
+		sums[c] += s.v
+		if s.v < cl.Min {
+			cl.Min = s.v
+		}
+		if s.v > cl.Max {
+			cl.Max = s.v
+		}
+	}
+	// Drop empty clusters (k-means can abandon a centroid) and renumber.
+	remap := make([]int, k)
+	kept := clusters[:0]
+	for i, cl := range clusters {
+		if cl.Count == 0 {
+			remap[i] = -1
+			continue
+		}
+		cl.Mean = sums[i] / float64(cl.Count)
+		remap[i] = len(kept)
+		kept = append(kept, cl)
+	}
+	for i, a := range assignment {
+		assignment[i] = remap[a]
+	}
+
+	// Validation pass: k-means happily bisects a unimodal tier (a tail
+	// outlier can seed a spurious boundary which Lloyd's algorithm then
+	// drags to the median). Merge adjacent clusters that are not separated
+	// like genuine latency tiers: tiers differ multiplicatively (≥1.3×)
+	// or by a clear absolute gap.
+	kept, assignment = mergeIndistinct(kept, assignment, opts)
+	return Result{Clusters: kept, Assignment: assignment}, nil
+}
+
+// mergeIndistinct repeatedly merges adjacent clusters (sorted by mean)
+// whose boundary gap is below MinSeparation and whose means differ by less
+// than 1.3×, rewriting assignments accordingly.
+func mergeIndistinct(clusters []Cluster, assignment []int, opts Options) ([]Cluster, []int) {
+	for {
+		merged := false
+		for i := 0; i+1 < len(clusters); i++ {
+			lo, hi := clusters[i], clusters[i+1]
+			gap := hi.Min - lo.Max
+			ratio := math.Inf(1)
+			if lo.Mean > 0 {
+				ratio = hi.Mean / lo.Mean
+			}
+			if gap >= opts.MinSeparation || ratio >= 1.3 {
+				continue
+			}
+			total := lo.Count + hi.Count
+			clusters[i] = Cluster{
+				Mean:  (lo.Mean*float64(lo.Count) + hi.Mean*float64(hi.Count)) / float64(total),
+				Min:   lo.Min,
+				Max:   hi.Max,
+				Count: total,
+			}
+			clusters = append(clusters[:i+1], clusters[i+2:]...)
+			for j, a := range assignment {
+				if a > i {
+					assignment[j] = a - 1
+				}
+			}
+			merged = true
+			break
+		}
+		if !merged {
+			return clusters, assignment
+		}
+	}
+}
+
+// sample pairs a value with its position in the caller's input slice.
+type sample struct {
+	v   float64
+	idx int
+}
+
+// gapBoundaries returns sorted-sample indices where a new cluster begins,
+// capped so at most opts.MaxClusters segments result.
+func gapBoundaries(ss []sample, opts Options) []int {
+	if len(ss) < 2 {
+		return nil
+	}
+	n := len(ss)
+	gaps := make([]float64, n-1)
+	var total float64
+	for i := 0; i+1 < n; i++ {
+		gaps[i] = ss[i+1].v - ss[i].v
+		total += gaps[i]
+	}
+	meanGap := total / float64(n-1)
+
+	type bigGap struct {
+		pos int
+		g   float64
+	}
+	var big []bigGap
+	for i, g := range gaps {
+		if g <= 0 || g <= meanGap*opts.GapFactor {
+			continue
+		}
+		// Latency tiers are separated multiplicatively (slow path is several
+		// times the fast path), so a gap also qualifies when the next sample
+		// jumps by a large ratio even if the absolute gap is small relative
+		// to the full span.
+		lo, hi := ss[i].v, ss[i+1].v
+		if g >= opts.MinSeparation || (lo > 0 && hi >= lo*1.3) {
+			big = append(big, bigGap{i + 1, g})
+		}
+	}
+	// Keep only the largest MaxClusters-1 boundaries.
+	sort.Slice(big, func(a, b int) bool { return big[a].g > big[b].g })
+	if len(big) > opts.MaxClusters-1 {
+		big = big[:opts.MaxClusters-1]
+	}
+	out := make([]int, len(big))
+	for i, b := range big {
+		out[i] = b.pos
+	}
+	sort.Ints(out)
+	return out
+}
+
+// kmeans1D runs Lloyd's algorithm on sorted values with the given initial
+// centroids and returns per-value cluster assignments. Because values are
+// sorted and centroids stay sorted, assignment reduces to threshold search.
+func kmeans1D(values, centroids []float64, iters int) []int {
+	k := len(centroids)
+	assign := make([]int, len(values))
+	for it := 0; it < iters; it++ {
+		sort.Float64s(centroids)
+		changed := false
+		c := 0
+		for i, v := range values {
+			for c+1 < k && math.Abs(centroids[c+1]-v) < math.Abs(centroids[c]-v) {
+				c++
+			}
+			if assign[i] != c {
+				assign[i] = c
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for i, v := range values {
+			sums[assign[i]] += v
+			counts[assign[i]]++
+		}
+		for j := 0; j < k; j++ {
+			if counts[j] > 0 {
+				centroids[j] = sums[j] / float64(counts[j])
+			}
+		}
+	}
+	return assign
+}
+
+// FindK clusters xs into exactly k tiers with plain Lloyd's k-means seeded
+// by quantiles, skipping the gap-splitting model-selection stage. It exists
+// for the ablation benchmarks: against well-separated latency tiers it
+// matches Find only when k happens to equal the true tier count, which is
+// precisely the information Find's gap stage supplies.
+func FindK(xs []float64, k int) (Result, error) {
+	if len(xs) == 0 {
+		return Result{}, ErrEmpty
+	}
+	if k < 1 {
+		k = 1
+	}
+	ss := make([]sample, len(xs))
+	for i, v := range xs {
+		ss[i] = sample{v, i}
+	}
+	sort.Slice(ss, func(a, b int) bool { return ss[a].v < ss[b].v })
+	values := make([]float64, len(ss))
+	for i, s := range ss {
+		values[i] = s.v
+	}
+	centroids := make([]float64, k)
+	for j := 0; j < k; j++ {
+		centroids[j] = values[(2*j+1)*len(values)/(2*k)]
+	}
+	assignSorted := kmeans1D(values, centroids, 64)
+	clusters := make([]Cluster, k)
+	for i := range clusters {
+		clusters[i].Min = math.Inf(1)
+		clusters[i].Max = math.Inf(-1)
+	}
+	sums := make([]float64, k)
+	assignment := make([]int, len(xs))
+	for i, s := range ss {
+		c := assignSorted[i]
+		assignment[s.idx] = c
+		clusters[c].Count++
+		sums[c] += s.v
+		if s.v < clusters[c].Min {
+			clusters[c].Min = s.v
+		}
+		if s.v > clusters[c].Max {
+			clusters[c].Max = s.v
+		}
+	}
+	kept := clusters[:0]
+	remap := make([]int, k)
+	for i, cl := range clusters {
+		if cl.Count == 0 {
+			remap[i] = -1
+			continue
+		}
+		cl.Mean = sums[i] / float64(cl.Count)
+		remap[i] = len(kept)
+		kept = append(kept, cl)
+	}
+	for i, a := range assignment {
+		assignment[i] = remap[a]
+	}
+	return Result{Clusters: kept, Assignment: assignment}, nil
+}
+
+// Within reports whether value v falls inside cluster c, extended by slack on
+// either side. The probing engine uses this to decide whether a measured RTT
+// still belongs to a previously identified latency tier.
+func Within(c Cluster, v, slack float64) bool {
+	return v >= c.Min-slack && v <= c.Max+slack
+}
+
+// Nearest returns the index of the cluster whose mean is closest to v.
+// It returns -1 for an empty cluster list.
+func Nearest(clusters []Cluster, v float64) int {
+	best, bestD := -1, math.Inf(1)
+	for i, c := range clusters {
+		if d := math.Abs(c.Mean - v); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,155 @@
+package infer
+
+import (
+	"time"
+
+	"tango/internal/core/pattern"
+	"tango/internal/core/probe"
+	"tango/internal/stats"
+)
+
+// CostOptions tunes MeasureCosts.
+type CostOptions struct {
+	// Samples is the number of operations timed per cost class. Zero
+	// means 128.
+	Samples int
+	// BasePriority anchors the priority ranges used. Zero means 20000.
+	BasePriority uint16
+	// FlowIDBase offsets probe flow IDs. Zero means 3<<20.
+	FlowIDBase uint32
+}
+
+func (o CostOptions) withDefaults() CostOptions {
+	if o.Samples == 0 {
+		o.Samples = 128
+	}
+	if o.BasePriority == 0 {
+		o.BasePriority = 20000
+	}
+	if o.FlowIDBase == 0 {
+		o.FlowIDBase = 3 << 20
+	}
+	return o
+}
+
+// MeasureCosts fits a control-channel ScoreCard for the device by timing
+// four rewriting patterns:
+//
+//   - same-priority adds          → AddSamePriority
+//   - ascending-priority adds     → AddNewPriority (no shifts by design)
+//   - descending-priority adds    → ShiftPerEntry (slope of per-op latency
+//     against the number of higher-priority entries already present)
+//   - modify and delete sweeps    → Mod, Del
+//
+// All rules are installed under a dedicated flow-ID block and removed
+// afterwards. The card is the scheduler's cost oracle; its quality is what
+// turns "Tango patterns" into installation-time wins (§6, §7).
+func MeasureCosts(e *probe.Engine, switchName string, opts CostOptions) (*pattern.ScoreCard, error) {
+	opts = opts.withDefaults()
+	n := opts.Samples
+	card := &pattern.ScoreCard{SwitchName: switchName, PriorityCurves: map[pattern.Order][]pattern.CurvePoint{}}
+
+	// Phase 1: same-priority adds.
+	base := opts.FlowIDBase
+	sameOps := make([]pattern.Op, n)
+	for i := range sameOps {
+		sameOps[i] = pattern.Op{Kind: pattern.OpAdd, FlowID: base + uint32(i), Priority: opts.BasePriority}
+	}
+	res, err := e.Run(pattern.Pattern{Name: "cost/same", Ops: sameOps})
+	if err != nil {
+		return nil, err
+	}
+	// Skip the first op: it may pay the new-priority-band cost.
+	card.AddSamePriority = meanLatency(res.Ops[1:])
+
+	// Phase 2: modify sweep over the same rules.
+	modOps := make([]pattern.Op, n)
+	for i := range modOps {
+		modOps[i] = pattern.Op{Kind: pattern.OpMod, FlowID: base + uint32(i), Priority: opts.BasePriority}
+	}
+	if res, err = e.Run(pattern.Pattern{Name: "cost/mod", Ops: modOps}); err != nil {
+		return nil, err
+	}
+	card.Mod = meanLatency(res.Ops)
+
+	// Phase 3: delete sweep.
+	delOps := make([]pattern.Op, n)
+	for i := range delOps {
+		delOps[i] = pattern.Op{Kind: pattern.OpDel, FlowID: base + uint32(i), Priority: opts.BasePriority}
+	}
+	if res, err = e.Run(pattern.Pattern{Name: "cost/del", Ops: delOps}); err != nil {
+		return nil, err
+	}
+	card.Del = meanLatency(res.Ops)
+
+	// Phase 4: ascending-priority adds — every add tops the table, so no
+	// higher-priority entries exist and the per-op cost is the clean
+	// new-priority baseline.
+	base += uint32(n)
+	ascOps := make([]pattern.Op, n)
+	for i := range ascOps {
+		ascOps[i] = pattern.Op{Kind: pattern.OpAdd, FlowID: base + uint32(i), Priority: opts.BasePriority + 1 + uint16(i)}
+	}
+	if res, err = e.Run(pattern.Pattern{Name: "cost/asc", Ops: ascOps}); err != nil {
+		return nil, err
+	}
+	card.AddNewPriority = meanLatency(res.Ops)
+	for i := range ascOps {
+		_ = e.Delete(base+uint32(i), ascOps[i].Priority)
+	}
+
+	// Phase 5: descending-priority adds — op i sees i higher-priority
+	// entries; the latency slope over i is the per-entry shift cost.
+	base += uint32(n)
+	descOps := make([]pattern.Op, n)
+	for i := range descOps {
+		descOps[i] = pattern.Op{Kind: pattern.OpAdd, FlowID: base + uint32(i), Priority: opts.BasePriority - 1 - uint16(i)}
+	}
+	if res, err = e.Run(pattern.Pattern{Name: "cost/desc", Ops: descOps}); err != nil {
+		return nil, err
+	}
+	xs := make([]float64, len(res.Ops))
+	ys := make([]float64, len(res.Ops))
+	for i, ot := range res.Ops {
+		xs[i] = float64(i)
+		ys[i] = float64(ot.Latency)
+	}
+	if _, slope, err := stats.LinearFit(xs, ys); err == nil && slope > 0 {
+		card.ShiftPerEntry = time.Duration(slope)
+	}
+	for i := range descOps {
+		_ = e.Delete(base+uint32(i), descOps[i].Priority)
+	}
+
+	// Phase 6: alternating add/delete pairs expose the batching effect —
+	// the per-op surcharge agents pay when the operation class changes.
+	base += uint32(n)
+	altOps := make([]pattern.Op, 0, 2*n)
+	for i := 0; i < n; i++ {
+		altOps = append(altOps,
+			pattern.Op{Kind: pattern.OpAdd, FlowID: base + uint32(i), Priority: opts.BasePriority},
+			pattern.Op{Kind: pattern.OpDel, FlowID: base + uint32(i), Priority: opts.BasePriority},
+		)
+	}
+	if res, err = e.Run(pattern.Pattern{Name: "cost/alternate", Ops: altOps}); err != nil {
+		return nil, err
+	}
+	perOp := meanLatency(res.Ops[1:])
+	flat := (card.AddSamePriority + card.Del) / 2
+	if perOp > flat {
+		card.TypeSwitch = perOp - flat
+	}
+	return card, nil
+}
+
+// meanLatency averages op latencies.
+func meanLatency(ops []pattern.OpTiming) time.Duration {
+	if len(ops) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, o := range ops {
+		sum += o.Latency
+	}
+	return sum / time.Duration(len(ops))
+}

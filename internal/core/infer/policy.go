@@ -1,0 +1,573 @@
+package infer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tango/internal/cluster"
+	"tango/internal/core/probe"
+	"tango/internal/stats"
+	"tango/internal/switchsim"
+)
+
+// PolicyOptions tunes ProbePolicy.
+type PolicyOptions struct {
+	// CacheSize is the inferred size of the cache layer under test (the
+	// fastest level from ProbeSizes). Required.
+	CacheSize int
+	// BasePriority anchors the per-flow priority permutation. Zero means
+	// 5000 (leaving room below for the permutation spread).
+	BasePriority uint16
+	// TrafficGap is the spacing between adjacent initialized traffic
+	// counts. MONOTONE only requires differences "sufficiently large
+	// (greater than 2)"; zero means 3.
+	TrafficGap int
+	// CorrThreshold is the minimum |correlation| for an attribute to be
+	// accepted as a sort key. Zero means 0.4.
+	CorrThreshold float64
+	// MaxRounds bounds the LEX recursion. Zero means 4 (one per attribute).
+	MaxRounds int
+	// Seed fixes permutation generation.
+	Seed int64
+	// FlowIDBase offsets probe flow IDs; each round uses a fresh block.
+	FlowIDBase uint32
+}
+
+func (o PolicyOptions) withDefaults() PolicyOptions {
+	if o.BasePriority == 0 {
+		o.BasePriority = 5000
+	}
+	if o.TrafficGap == 0 {
+		o.TrafficGap = 3
+	}
+	if o.CorrThreshold == 0 {
+		o.CorrThreshold = 0.4
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 4
+	}
+	if o.FlowIDBase == 0 {
+		o.FlowIDBase = 1 << 20
+	}
+	return o
+}
+
+// Round records the diagnostics of one recursion round of Algorithm 2.
+type Round struct {
+	// Correlations maps attribute → Pearson correlation between the
+	// attribute's initialized values and observed cache residency.
+	Correlations map[switchsim.Attribute]float64
+	// Chosen is the accepted sort key, if any.
+	Chosen switchsim.SortKey
+	// Accepted reports whether a key passed the threshold this round.
+	Accepted bool
+	// CachedCount is how many probe flows were observed in the cache.
+	CachedCount int
+}
+
+// PolicyResult is the outcome of Algorithm 2.
+type PolicyResult struct {
+	// Policy is the inferred lexicographic cache policy.
+	Policy switchsim.Policy
+	// Rounds holds per-round diagnostics.
+	Rounds []Round
+	// Inconclusive is set when no attribute correlated with residency —
+	// e.g. the cache admitted everything probed (an OVS-style microflow
+	// cache) or residency looked random.
+	Inconclusive bool
+}
+
+// ErrBadCacheSize rejects non-positive cache sizes.
+var ErrBadCacheSize = errors.New("infer: cache size must be positive")
+
+// serialAttrs are the attributes with unique per-flow values; once one is
+// chosen the ordering is total and the recursion stops (line 27 of
+// Algorithm 2).
+var serialAttrs = map[switchsim.Attribute]bool{
+	switchsim.AttrInsertion: true,
+	switchsim.AttrUseTime:   true,
+}
+
+// ProbePolicy runs Algorithm 2 (Policy Probing): it installs 2×cacheSize
+// flows whose attribute values are pairwise-decorrelated permutations,
+// observes which flows the cache retained via RTT classification, picks the
+// attribute correlating most strongly with residency, and recurses with
+// that attribute held constant until a serial attribute terminates the
+// lexicographic ordering.
+func ProbePolicy(e *probe.Engine, opts PolicyOptions) (*PolicyResult, error) {
+	opts = opts.withDefaults()
+	if opts.CacheSize <= 0 {
+		return nil, ErrBadCacheSize
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &PolicyResult{}
+	fixed := map[switchsim.Attribute]bool{}
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		base := opts.FlowIDBase + uint32(round)*uint32(16*opts.CacheSize+8192)
+		var r *Round
+		var err error
+		if fixed[switchsim.AttrTraffic] {
+			// Once traffic count is a fixed (constant) prefix key, every
+			// measurement packet perturbs exactly that key: probing a
+			// non-resident bumps its count above the field and promotes it,
+			// evicting a resident before that resident is measured. The
+			// correlation round would then be scored against corrupted
+			// membership, so these rounds use hypothesis verification
+			// instead: measure in each candidate ordering's keep-order —
+			// under the true ordering residents are measured first as pure
+			// cache hits (which never change membership) and non-residents
+			// afterwards can no longer out-rank them, so only the correct
+			// hypothesis produces a clean fast-then-slow step.
+			r, err = verifyRound(e, opts, rng, base, fixed)
+		} else {
+			r, err = probeRound(e, opts, rng, base, fixed)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds = append(res.Rounds, *r)
+		if !r.Accepted {
+			res.Inconclusive = len(res.Policy.Keys) == 0
+			return res, nil
+		}
+		res.Policy.Keys = append(res.Policy.Keys, r.Chosen)
+		fixed[r.Chosen.Attr] = true
+		if serialAttrs[r.Chosen.Attr] {
+			return res, nil
+		}
+		if len(fixed) == len(switchsim.Attributes) {
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// probeRound performs one initialization + measurement + correlation round.
+func probeRound(e *probe.Engine, opts PolicyOptions, rng *rand.Rand, flowBase uint32, fixed map[switchsim.Attribute]bool) (*Round, error) {
+	s := 2 * opts.CacheSize
+
+	// Pairwise-decorrelated value permutations for the free attributes.
+	// Insertion order is the identity by construction; priority, traffic
+	// and use-order get independent random permutations re-drawn until no
+	// pair correlates above 0.15 — ensuring "no subset of flows satisfies
+	// the half-above/half-below condition for more than one attribute".
+	prioPerm, trafPerm, usePerm := decorrelatedPerms(rng, s)
+
+	priorities := make([]uint16, s)
+	for i := range priorities {
+		if fixed[switchsim.AttrPriority] {
+			priorities[i] = opts.BasePriority
+		} else {
+			priorities[i] = opts.BasePriority + uint16(prioPerm[i])
+		}
+	}
+
+	// Install phase (insertion attribute = install order).
+	for i := 0; i < s; i++ {
+		if err := e.Install(flowBase+uint32(i), priorities[i]); err != nil {
+			return nil, fmt.Errorf("infer: policy probe install %d: %w", i, err)
+		}
+	}
+
+	// Traffic phase: counts spaced TrafficGap apart, sent in ascending
+	// target order so the cache converges to the top-traffic flows under
+	// frequency policies. Skipped when traffic is held constant.
+	if !fixed[switchsim.AttrTraffic] {
+		order := make([]int, s)
+		for i := range order {
+			order[i] = i
+		}
+		// Ascending target count == ascending trafPerm rank. Bursts go
+		// through the engine's batched traffic path, which keeps the
+		// quadratic total packet count affordable even for multi-thousand
+		// entry caches.
+		for _, i := range sortByRank(order, trafPerm) {
+			count := opts.TrafficGap * (trafPerm[i] + 1)
+			if err := e.SendTraffic(flowBase+uint32(i), count); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Use-time phase: one packet per flow in usePerm order; the flow with
+	// usePerm rank s-1 ends up most recently used.
+	useRank := make([]int, s) // useRank[i] = recency rank of flow i
+	orderByUse := make([]int, s)
+	for i := 0; i < s; i++ {
+		orderByUse[usePerm[i]] = i
+	}
+	for rank, i := range orderByUse {
+		useRank[i] = rank
+		if _, _, err := e.Probe(flowBase + uint32(i)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Measurement phase: most-recently-used first, so each flow's
+	// classification reflects the pre-measurement cache state.
+	rtts := make([]float64, s)
+	for rank := s - 1; rank >= 0; rank-- {
+		i := orderByUse[rank]
+		rtt, _, err := e.Probe(flowBase + uint32(i))
+		if err != nil {
+			return nil, err
+		}
+		rtts[i] = float64(rtt)
+	}
+
+	// Classify: the fastest RTT cluster is the cache under test.
+	cl, err := cluster.Find(rtts, cluster.Options{})
+	if err != nil {
+		return nil, err
+	}
+	round := &Round{Correlations: map[switchsim.Attribute]float64{}}
+	cached := make([]float64, s)
+	if len(cl.Clusters) >= 2 {
+		for i, a := range cl.Assignment {
+			if a == 0 {
+				cached[i] = 1
+				round.CachedCount++
+			}
+		}
+	} else {
+		// One tier: nothing to discriminate (e.g. every probed flow was
+		// admitted — microflow caching). Leave `cached` all-zero so no
+		// attribute correlates.
+		round.CachedCount = s
+	}
+
+	// Correlate each free attribute's value vector with residency.
+	values := func(attr switchsim.Attribute) []float64 {
+		v := make([]float64, s)
+		for i := 0; i < s; i++ {
+			switch attr {
+			case switchsim.AttrInsertion:
+				v[i] = float64(i)
+			case switchsim.AttrUseTime:
+				v[i] = float64(useRank[i])
+			case switchsim.AttrTraffic:
+				v[i] = float64(trafPerm[i])
+			case switchsim.AttrPriority:
+				v[i] = float64(prioPerm[i])
+			}
+		}
+		return v
+	}
+	best := switchsim.SortKey{}
+	bestCorr := 0.0
+	for _, attr := range switchsim.Attributes {
+		if fixed[attr] {
+			continue
+		}
+		r, err := stats.Pearson(values(attr), cached)
+		if err != nil {
+			return nil, err
+		}
+		round.Correlations[attr] = r
+		if math.Abs(r) > math.Abs(bestCorr) {
+			bestCorr = r
+			best = switchsim.SortKey{Attr: attr, HighIsBetter: r > 0}
+		}
+	}
+	if math.Abs(bestCorr) >= opts.CorrThreshold {
+		round.Chosen = best
+		round.Accepted = true
+	}
+
+	// Cleanup: remove this round's probe rules so the next round starts
+	// from a clean cache.
+	for i := 0; i < s; i++ {
+		_ = e.Delete(flowBase+uint32(i), priorities[i])
+	}
+	return round, nil
+}
+
+// verifyRound tests every remaining (attribute, direction) hypothesis by
+// re-initializing the probe flows and measuring them in the hypothesis's
+// keep-order. The accuracy of the predicted fast/slow step scores the
+// hypothesis; the best one wins if it clears the acceptance threshold.
+func verifyRound(e *probe.Engine, opts PolicyOptions, rng *rand.Rand, flowBase uint32, fixed map[switchsim.Attribute]bool) (*Round, error) {
+	s := 2 * opts.CacheSize
+	n := opts.CacheSize
+	round := &Round{Correlations: map[switchsim.Attribute]float64{}}
+	best := switchsim.SortKey{}
+	bestScore := -1.0
+	sub := uint32(0)
+	for _, attr := range switchsim.Attributes {
+		if fixed[attr] {
+			continue
+		}
+		for _, high := range []bool{true, false} {
+			base := flowBase + sub*uint32(2*s+256)
+			sub++
+			score, err := verifyHypothesis(e, opts, rng, base, fixed,
+				switchsim.SortKey{Attr: attr, HighIsBetter: high})
+			if err != nil {
+				return nil, err
+			}
+			// Record the better-direction score per attribute, signed by
+			// direction so diagnostics read like a correlation.
+			signed := score
+			if !high {
+				signed = -score
+			}
+			if abs := score; abs > absFloat(round.Correlations[attr]) {
+				round.Correlations[attr] = signed
+			}
+			if score > bestScore {
+				bestScore = score
+				best = switchsim.SortKey{Attr: attr, HighIsBetter: high}
+			}
+		}
+	}
+	round.CachedCount = n
+	// A correct hypothesis yields a near-perfect step; anything close to
+	// coin-flip accuracy means no remaining attribute explains residency.
+	if bestScore >= 0.8 {
+		round.Chosen = best
+		round.Accepted = true
+	}
+	return round, nil
+}
+
+func absFloat(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// verifyHypothesis initializes one fresh flow block (fixed attributes held
+// constant, free attributes decorrelated as in the correlation round),
+// measures the flows in the hypothesis keep-order, and returns the fraction
+// of flows whose observed tier matches the hypothesis's prediction.
+func verifyHypothesis(e *probe.Engine, opts PolicyOptions, rng *rand.Rand, flowBase uint32, fixed map[switchsim.Attribute]bool, hyp switchsim.SortKey) (float64, error) {
+	s := 2 * opts.CacheSize
+	n := opts.CacheSize
+	prioPerm, trafPerm, usePerm := decorrelatedPerms(rng, s)
+
+	priorities := make([]uint16, s)
+	for i := range priorities {
+		if fixed[switchsim.AttrPriority] {
+			priorities[i] = opts.BasePriority
+		} else {
+			priorities[i] = opts.BasePriority + uint16(prioPerm[i])
+		}
+	}
+	for i := 0; i < s; i++ {
+		if err := e.Install(flowBase+uint32(i), priorities[i]); err != nil {
+			return 0, fmt.Errorf("infer: verify install %d: %w", i, err)
+		}
+	}
+	if !fixed[switchsim.AttrTraffic] {
+		order := make([]int, s)
+		for i := range order {
+			order[i] = i
+		}
+		for _, i := range sortByRank(order, trafPerm) {
+			if err := e.SendTraffic(flowBase+uint32(i), opts.TrafficGap*(trafPerm[i]+1)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	orderByUse := make([]int, s)
+	for i := 0; i < s; i++ {
+		orderByUse[usePerm[i]] = i
+	}
+	for _, i := range orderByUse {
+		if _, _, err := e.Probe(flowBase + uint32(i)); err != nil {
+			return 0, err
+		}
+	}
+
+	// Hypothesis value per flow.
+	value := func(i int) float64 {
+		switch hyp.Attr {
+		case switchsim.AttrInsertion:
+			return float64(i)
+		case switchsim.AttrUseTime:
+			return float64(usePerm[i])
+		case switchsim.AttrTraffic:
+			return float64(trafPerm[i])
+		default:
+			return float64(prioPerm[i])
+		}
+	}
+	// Keep-order: best-kept first.
+	order := make([]int, s)
+	for i := range order {
+		order[i] = i
+	}
+	sortBy(order, func(a, b int) bool {
+		if hyp.HighIsBetter {
+			return value(a) > value(b)
+		}
+		return value(a) < value(b)
+	})
+
+	rtts := make([]float64, s)
+	for _, i := range order {
+		rtt, _, err := e.Probe(flowBase + uint32(i))
+		if err != nil {
+			return 0, err
+		}
+		rtts[i] = float64(rtt)
+	}
+	for i := 0; i < s; i++ {
+		_ = e.Delete(flowBase+uint32(i), priorities[i])
+	}
+
+	cl, err := cluster.Find(rtts, cluster.Options{})
+	if err != nil {
+		return 0, err
+	}
+	if len(cl.Clusters) < 2 {
+		return 0, nil // indistinguishable tiers: hypothesis unverifiable
+	}
+	correct := 0
+	for rank, i := range order {
+		predictedFast := rank < n
+		observedFast := cl.Assignment[i] == 0
+		if predictedFast == observedFast {
+			correct++
+		}
+	}
+	return float64(correct) / float64(s), nil
+}
+
+// sortBy is a small insertion sort over ints with a custom less.
+func sortBy(xs []int, less func(a, b int) bool) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && less(xs[j], xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// decorrelatedPerms draws three permutations of [0,s) whose pairwise
+// correlations (including with the identity) stay below 0.15.
+func decorrelatedPerms(rng *rand.Rand, s int) (prio, traf, use []int) {
+	identity := make([]float64, s)
+	for i := range identity {
+		identity[i] = float64(i)
+	}
+	draw := func(existing ...[]int) []int {
+		for attempt := 0; attempt < 200; attempt++ {
+			p := rng.Perm(s)
+			pf := make([]float64, s)
+			for i, v := range p {
+				pf[i] = float64(v)
+			}
+			ok := true
+			if r, _ := stats.Pearson(identity, pf); math.Abs(r) > 0.15 {
+				ok = false
+			}
+			for _, ex := range existing {
+				ef := make([]float64, s)
+				for i, v := range ex {
+					ef[i] = float64(v)
+				}
+				if r, _ := stats.Pearson(ef, pf); math.Abs(r) > 0.15 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return p
+			}
+		}
+		// Statistically unreachable for s ≥ 16; fall back to the last draw.
+		return rng.Perm(s)
+	}
+	prio = draw()
+	traf = draw(prio)
+	use = draw(prio, traf)
+	return prio, traf, use
+}
+
+// sortByRank returns idxs sorted ascending by rank[idx].
+func sortByRank(idxs []int, rank []int) []int {
+	out := append([]int(nil), idxs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && rank[out[j]] < rank[out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// InitPattern is the post-initialization attribute state Algorithm 2 sets
+// up — what Figure 6 of the paper visualises for a cache of size 100.
+// Index i is the i-th installed flow.
+type InitPattern struct {
+	Insertion []int // installation order (identity)
+	Use       []int // recency rank after the use-time pass
+	Priority  []int // priority permutation value
+	Traffic   []int // initialized packet count
+}
+
+// InitializationPattern returns the attribute initialization the policy
+// probe would use for the given cache size and seed, for inspection and
+// plotting without touching a switch.
+func InitializationPattern(cacheSize int, seed int64) InitPattern {
+	opts := PolicyOptions{CacheSize: cacheSize, Seed: seed}.withDefaults()
+	s := 2 * cacheSize
+	rng := rand.New(rand.NewSource(opts.Seed))
+	prio, traf, use := decorrelatedPerms(rng, s)
+	p := InitPattern{
+		Insertion: make([]int, s),
+		Use:       make([]int, s),
+		Priority:  make([]int, s),
+		Traffic:   make([]int, s),
+	}
+	for i := 0; i < s; i++ {
+		p.Insertion[i] = i
+		p.Use[i] = use[i]
+		p.Priority[i] = prio[i]
+		p.Traffic[i] = opts.TrafficGap * (traf[i] + 1)
+	}
+	return p
+}
+
+// DetectMicroflowCaching reports whether the switch exhibits traffic-driven
+// exact-match caching (the OVS behaviour of Figure 2(a)): a freshly
+// installed flow's first packet is markedly slower than its second, because
+// the first packet takes the user-space slow path and installs the kernel
+// microflow entry. Several fresh flows are sampled and medians compared so
+// a single jittery RTT draw cannot flip the verdict. The median
+// first-to-second RTT ratio is returned for diagnostics.
+func DetectMicroflowCaching(e *probe.Engine, flowIDBase uint32, priority uint16) (bool, float64, error) {
+	const samples = 7
+	firsts := make([]float64, 0, samples)
+	seconds := make([]float64, 0, samples)
+	for i := uint32(0); i < samples; i++ {
+		id := flowIDBase + i
+		if err := e.Install(id, priority); err != nil {
+			return false, 0, err
+		}
+		first, _, err := e.Probe(id)
+		if err != nil {
+			return false, 0, err
+		}
+		second, _, err := e.Probe(id)
+		if err != nil {
+			return false, 0, err
+		}
+		_ = e.Delete(id, priority)
+		firsts = append(firsts, float64(first))
+		seconds = append(seconds, float64(second))
+	}
+	mf, err := stats.Median(firsts)
+	if err != nil {
+		return false, 0, err
+	}
+	ms, err := stats.Median(seconds)
+	if err != nil || ms == 0 {
+		return false, 0, err
+	}
+	ratio := mf / ms
+	return ratio > 1.25, ratio, nil
+}

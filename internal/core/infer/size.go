@@ -1,0 +1,238 @@
+// Package infer implements Tango's switch inference engine (§5): flow-table
+// size probing (Algorithm 1), cache-replacement policy probing
+// (Algorithm 2), and control-channel cost fitting. All inference works
+// purely through the probing engine's Device interface — standard OpenFlow
+// commands plus data traffic — never through privileged knowledge of the
+// switch, which is the paper's core premise.
+package infer
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tango/internal/cluster"
+	"tango/internal/core/probe"
+	"tango/internal/stats"
+)
+
+// SizeOptions tunes ProbeSizes. The zero value selects sensible defaults.
+type SizeOptions struct {
+	// Priority used for every probe rule; one shared priority avoids
+	// confounding the measurements with TCAM shift costs. Zero means 1000.
+	Priority uint16
+	// MaxRules caps the doubling phase. Software tables are "virtually
+	// unlimited", so a switch that never rejects would otherwise absorb an
+	// unbounded probing budget; reaching the cap is reported via
+	// SizeResult.CacheFull=false. Zero means 16384.
+	MaxRules int
+	// Trials fixes k, the number of sampling trials per cache level. Zero
+	// selects an adaptive budget: trials continue until roughly 6×m probe
+	// packets have been spent on the level, which puts the estimator's
+	// standard error within the paper's 5%-of-actual accuracy bound for
+	// level fractions down to ~15% of m.
+	Trials int
+	// Seed fixes the sampling RNG.
+	Seed int64
+	// FlowIDBase offsets probe flow IDs so repeated inferences against one
+	// switch use fresh flows.
+	FlowIDBase uint32
+}
+
+func (o SizeOptions) withDefaults() SizeOptions {
+	if o.Priority == 0 {
+		o.Priority = 1000
+	}
+	if o.MaxRules == 0 {
+		o.MaxRules = 16384
+	}
+	return o
+}
+
+// LevelEstimate describes one inferred flow-table layer.
+type LevelEstimate struct {
+	// MeanRTT is the layer's mean observed round-trip time.
+	MeanRTT time.Duration
+	// Size is the estimated number of entries resident in the layer, from
+	// the negative-binomial sampling experiment.
+	Size int
+	// Census is the number of installed rules whose stage-2 RTT fell in
+	// this layer's cluster — an exact membership count at probe time and
+	// usually the tighter estimate. The ablation benchmarks compare the
+	// two estimators.
+	Census int
+}
+
+// SizeResult is the outcome of Algorithm 1.
+type SizeResult struct {
+	// Levels are the inferred layers, fastest first.
+	Levels []LevelEstimate
+	// RulesInstalled is m, the number of probe rules installed.
+	RulesInstalled int
+	// ProbesSent counts data-plane packets used.
+	ProbesSent int
+	// CacheFull reports whether the switch rejected an installation (true)
+	// or the MaxRules budget stopped the doubling (false). When false the
+	// deepest layer's size is a lower bound, not an estimate.
+	CacheFull bool
+	// Clusters are the raw RTT tiers found.
+	Clusters []cluster.Cluster
+}
+
+// ErrNoRules is returned when not even one rule could be installed.
+var ErrNoRules = errors.New("infer: could not install any rules")
+
+// ProbeSizes runs Algorithm 1 (Size Probing) against the engine's device:
+//
+//  1. Double the number of installed rules (sending one matching packet per
+//     rule so traffic-driven caches allocate every slot) until the switch
+//     rejects an installation or the budget is exhausted.
+//  2. Measure one RTT per installed rule and cluster the samples; each
+//     cluster is one flow-table layer.
+//  3. For every layer, estimate its size with the negative-binomial
+//     sampling experiment: repeatedly pick uniform random rules and count
+//     consecutive picks whose RTT stays inside the layer's cluster; the MLE
+//     p̂ = Σx/(k+Σx) gives the layer's fraction of the m installed rules.
+//
+// The procedure is asymptotically optimal: O(n) rule installations in
+// O(log n) batches and O(n) probe packets (§5.2).
+func ProbeSizes(e *probe.Engine, opts SizeOptions) (*SizeResult, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &SizeResult{}
+
+	// Stage 1: doubling installation.
+	installed := 0
+	for target := 1; !res.CacheFull && installed < opts.MaxRules; target *= 2 {
+		if target > opts.MaxRules {
+			target = opts.MaxRules
+		}
+		for i := installed; i < target; i++ {
+			if err := e.Install(opts.FlowIDBase+uint32(i), opts.Priority); err != nil {
+				res.CacheFull = true
+				break
+			}
+			installed++
+			if _, _, err := e.Probe(opts.FlowIDBase + uint32(i)); err != nil {
+				return nil, err
+			}
+			res.ProbesSent++
+		}
+	}
+	if installed == 0 {
+		return nil, ErrNoRules
+	}
+	m := installed
+	res.RulesInstalled = m
+
+	// Stage 2: one RTT sample per rule, in random order, then cluster.
+	rtts := make([]float64, m)
+	for _, i := range rng.Perm(m) {
+		rtt, _, err := e.Probe(opts.FlowIDBase + uint32(i))
+		if err != nil {
+			return nil, err
+		}
+		res.ProbesSent++
+		rtts[i] = float64(rtt)
+	}
+	cl, err := cluster.Find(rtts, cluster.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res.Clusters = cl.Clusters
+
+	// Stage 3: negative-binomial sampling per level.
+	for level := range cl.Clusters {
+		size, probes, err := estimateLevel(e, rng, opts, m, cl.Clusters, level)
+		if err != nil {
+			return nil, err
+		}
+		res.ProbesSent += probes
+		res.Levels = append(res.Levels, LevelEstimate{
+			MeanRTT: time.Duration(cl.Clusters[level].Mean),
+			Size:    size,
+			Census:  cl.Clusters[level].Count,
+		})
+	}
+	// With a single tier everything fits in one layer; the estimate is m
+	// itself (sampling would degenerate to p̂→1 with capped runs).
+	if len(cl.Clusters) == 1 {
+		res.Levels[0].Size = m
+	}
+	return res, nil
+}
+
+// estimateLevel runs the per-level sampling experiment of Algorithm 1,
+// returning the size estimate and the number of probes consumed.
+func estimateLevel(e *probe.Engine, rng *rand.Rand, opts SizeOptions, m int, clusters []cluster.Cluster, level int) (int, int, error) {
+	slack := clusterSlack(clusters, level)
+	targetProbes := 6 * m
+	if targetProbes < 3000 {
+		targetProbes = 3000
+	}
+	var trials []int
+	probes := 0
+	for {
+		if opts.Trials > 0 {
+			if len(trials) >= opts.Trials {
+				break
+			}
+		} else if len(trials) >= 64 && probes >= targetProbes {
+			break
+		}
+		j := 0
+		for j < m {
+			id := opts.FlowIDBase + uint32(rng.Intn(m))
+			rtt, _, err := e.Probe(id)
+			if err != nil {
+				return 0, probes, err
+			}
+			probes++
+			if !cluster.Within(clusters[level], float64(rtt), slack) {
+				break
+			}
+			j++
+		}
+		trials = append(trials, j)
+	}
+	p, err := stats.NegBinomialMLE(trials)
+	if err != nil {
+		return 0, probes, err
+	}
+	return int(float64(m)*p + 0.5), probes, nil
+}
+
+// clusterSlack widens a cluster's acceptance band to half the gap to its
+// nearest neighbour, so fresh RTT draws from the same latency tier — which
+// jitter can push slightly outside the originally observed min/max — still
+// classify correctly.
+func clusterSlack(clusters []cluster.Cluster, level int) float64 {
+	c := clusters[level]
+	slack := c.Mean * 0.25
+	for i, o := range clusters {
+		if i == level {
+			continue
+		}
+		gap := o.Min - c.Max
+		if o.Max < c.Min {
+			gap = c.Min - o.Max
+		}
+		if gap > 0 && gap/2 < slack {
+			slack = gap / 2
+		}
+	}
+	return slack
+}
+
+// String renders the result compactly.
+func (r *SizeResult) String() string {
+	s := fmt.Sprintf("m=%d full=%v levels=[", r.RulesInstalled, r.CacheFull)
+	for i, l := range r.Levels {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("{%v:%d}", l.MeanRTT.Round(10*time.Microsecond), l.Size)
+	}
+	return s + "]"
+}

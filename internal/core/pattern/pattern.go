@@ -1,0 +1,371 @@
+// Package pattern defines Tango patterns — sequences of OpenFlow flow-mod
+// commands paired with a corresponding data-traffic pattern — plus the
+// central Tango Pattern and Score databases (TangoDB, §4 of the paper).
+// The probing engine executes patterns against switches; the inference
+// engine distils the measurements into per-switch ScoreCards; the scheduler
+// consults the score database to pick rewrite orderings.
+package pattern
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// OpKind is a flow-table operation type.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpAdd OpKind = iota
+	OpMod
+	OpDel
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpAdd:
+		return "add"
+	case OpMod:
+		return "mod"
+	default:
+		return "del"
+	}
+}
+
+// Op is one flow-mod step of a pattern. FlowID selects the probe rule the
+// op targets (see packet.BuildProbe / flowtable.ExactProbeMatch); SendProbe
+// asks the engine to follow the op with a matching data-plane packet.
+type Op struct {
+	Kind      OpKind
+	FlowID    uint32
+	Priority  uint16
+	SendProbe bool
+}
+
+// TrafficStep is one step of a pattern's data-traffic component.
+type TrafficStep struct {
+	FlowID uint32
+	Count  int
+}
+
+// Pattern is a named probing recipe.
+type Pattern struct {
+	Name        string
+	Description string
+	Ops         []Op
+	Traffic     []TrafficStep
+}
+
+// Order enumerates the priority orderings of §3's installation experiments.
+type Order int
+
+// Priority orderings.
+const (
+	OrderSame Order = iota
+	OrderAscending
+	OrderDescending
+	OrderRandom
+)
+
+// String implements fmt.Stringer.
+func (o Order) String() string {
+	switch o {
+	case OrderSame:
+		return "same"
+	case OrderAscending:
+		return "ascending"
+	case OrderDescending:
+		return "descending"
+	default:
+		return "random"
+	}
+}
+
+// Orders lists all priority orderings.
+var Orders = []Order{OrderSame, OrderAscending, OrderDescending, OrderRandom}
+
+// Priorities returns n priorities following the ordering. Random draws from
+// rng (required only for OrderRandom).
+func (o Order) Priorities(n int, rng *rand.Rand) []uint16 {
+	out := make([]uint16, n)
+	const base = 1000
+	switch o {
+	case OrderSame:
+		for i := range out {
+			out[i] = base
+		}
+	case OrderAscending:
+		for i := range out {
+			out[i] = uint16(base + i)
+		}
+	case OrderDescending:
+		for i := range out {
+			out[i] = uint16(base + n - i)
+		}
+	default:
+		perm := rng.Perm(n)
+		for i := range out {
+			out[i] = uint16(base + perm[i])
+		}
+	}
+	return out
+}
+
+// PriorityInstall builds the pattern that installs n fresh flows with the
+// given priority ordering — the Figure 3(c) experiment.
+func PriorityInstall(n int, order Order, rng *rand.Rand) Pattern {
+	prios := order.Priorities(n, rng)
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{Kind: OpAdd, FlowID: uint32(i), Priority: prios[i]}
+	}
+	return Pattern{
+		Name:        fmt.Sprintf("priority-install/%s/%d", order, n),
+		Description: fmt.Sprintf("install %d flows in %s priority order", n, order),
+		Ops:         ops,
+	}
+}
+
+// ModifyAll builds the pattern that modifies flows [0, n) previously
+// installed at the given priority — half of the Figure 3(b) experiment.
+func ModifyAll(n int, priority uint16) Pattern {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{Kind: OpMod, FlowID: uint32(i), Priority: priority}
+	}
+	return Pattern{
+		Name:        fmt.Sprintf("modify-all/%d", n),
+		Description: fmt.Sprintf("modify %d existing flows", n),
+		Ops:         ops,
+	}
+}
+
+// Permutation builds the Figure 3(a) pattern: nAdd adds, nMod mods, and
+// nDel dels executed in the order given by perm (a permutation of
+// {OpAdd, OpMod, OpDel}). Mods and dels target already-installed flows
+// [0, nMod) and [nMod, nMod+nDel); adds create fresh flows. Adds use
+// ascending priorities starting above base.
+func Permutation(perm [3]OpKind, nAdd, nMod, nDel int, base uint16) Pattern {
+	var ops []Op
+	name := ""
+	for _, k := range perm {
+		if name != "" {
+			name += "_"
+		}
+		name += k.String()
+		switch k {
+		case OpAdd:
+			for i := 0; i < nAdd; i++ {
+				ops = append(ops, Op{Kind: OpAdd, FlowID: uint32(100000 + i), Priority: base + uint16(i)})
+			}
+		case OpMod:
+			for i := 0; i < nMod; i++ {
+				ops = append(ops, Op{Kind: OpMod, FlowID: uint32(i), Priority: base})
+			}
+		case OpDel:
+			for i := 0; i < nDel; i++ {
+				ops = append(ops, Op{Kind: OpDel, FlowID: uint32(nMod + i), Priority: base})
+			}
+		}
+	}
+	return Pattern{
+		Name:        "perm/" + name,
+		Description: fmt.Sprintf("%d adds, %d mods, %d dels in %s order", nAdd, nMod, nDel, name),
+		Ops:         ops,
+	}
+}
+
+// Permutations3 lists all six orderings of add/mod/del. The delete-first
+// orderings lead so that a scheduler breaking score ties takes them:
+// deletions can only free TCAM space that later additions would otherwise
+// shift past (the same bias the paper's example pattern list encodes).
+var Permutations3 = [][3]OpKind{
+	{OpDel, OpMod, OpAdd},
+	{OpDel, OpAdd, OpMod},
+	{OpMod, OpDel, OpAdd},
+	{OpMod, OpAdd, OpDel},
+	{OpAdd, OpDel, OpMod},
+	{OpAdd, OpMod, OpDel},
+}
+
+// OpTiming records the measured latency of one executed op.
+type OpTiming struct {
+	Op      Op
+	Latency time.Duration
+}
+
+// Result is the outcome of running a pattern.
+type Result struct {
+	Pattern string
+	Total   time.Duration
+	Ops     []OpTiming
+}
+
+// ScoreCard is the distilled cost model of one switch, fitted from probe
+// measurements. It parallels the calibration constants of the emulator's
+// ControlCosts but is *learned*, never copied — the whole point of Tango is
+// that these numbers are inferred through the standard OpenFlow interface.
+type ScoreCard struct {
+	// SwitchName labels the device the card describes.
+	SwitchName string
+	// AddSamePriority is the per-op cost of an add at an already-used
+	// priority.
+	AddSamePriority time.Duration
+	// AddNewPriority is the per-op cost of an add at a fresh priority with
+	// no higher-priority entries present (ascending-order insertions).
+	AddNewPriority time.Duration
+	// ShiftPerEntry is the marginal cost per existing higher-priority entry
+	// (the TCAM shift term); ~0 on software switches.
+	ShiftPerEntry time.Duration
+	// Mod and Del are per-op costs.
+	Mod time.Duration
+	Del time.Duration
+	// TypeSwitch is the extra cost paid when an operation's class differs
+	// from the previous one's — the measured batching effect that makes
+	// grouping deletes/modifies/additions profitable even on switches with
+	// flat per-op costs.
+	TypeSwitch time.Duration
+	// PriorityCurves holds measured total installation times by ordering
+	// and rule count, for reporting and plotting (Figure 3(b)/(c)).
+	PriorityCurves map[Order][]CurvePoint
+	// PathLatency maps inferred forwarding-tier index (0 = fastest) to its
+	// mean RTT, from size probing.
+	PathLatency []time.Duration
+}
+
+// CurvePoint is one (rule count, total duration) measurement.
+type CurvePoint struct {
+	N     int
+	Total time.Duration
+}
+
+// EstimateOps predicts the cost of executing ops in the given sequence,
+// simulating the higher-priority entry count the way a bottom-packed TCAM
+// pays it. existingHigher maps a priority to the number of higher-priority
+// entries resident before the batch (nil means none); deletions executed
+// earlier in the batch credit back the space they free, which is what makes
+// delete-before-add orderings score better when deletions target
+// high-priority rules.
+func (c *ScoreCard) EstimateOps(ops []Op, existingHigher func(uint16) int) time.Duration {
+	var total time.Duration
+	// prios tracks priorities of adds performed so far in the batch;
+	// deleted tracks priorities removed so far.
+	var prios, deleted []uint16
+	seen := map[uint16]bool{}
+	var lastKind OpKind
+	countAbove := func(s []uint16, p uint16) int {
+		at := sort.Search(len(s), func(i int) bool { return s[i] > p })
+		return len(s) - at
+	}
+	insertSorted := func(s []uint16, p uint16) []uint16 {
+		at := sort.Search(len(s), func(i int) bool { return s[i] >= p })
+		s = append(s, 0)
+		copy(s[at+1:], s[at:])
+		s[at] = p
+		return s
+	}
+	for i, op := range ops {
+		if i > 0 && op.Kind != lastKind {
+			total += c.TypeSwitch
+		}
+		lastKind = op.Kind
+		switch op.Kind {
+		case OpMod:
+			total += c.Mod
+		case OpDel:
+			total += c.Del
+			deleted = insertSorted(deleted, op.Priority)
+		case OpAdd:
+			higher := countAbove(prios, op.Priority)
+			if existingHigher != nil {
+				ex := existingHigher(op.Priority) - countAbove(deleted, op.Priority)
+				if ex > 0 {
+					higher += ex
+				}
+			}
+			base := c.AddNewPriority
+			if seen[op.Priority] {
+				base = c.AddSamePriority
+			}
+			seen[op.Priority] = true
+			total += base + time.Duration(higher)*c.ShiftPerEntry
+			prios = insertSorted(prios, op.Priority)
+		}
+	}
+	return total
+}
+
+// DB is the central Tango Score and Pattern Database: a concurrency-safe
+// registry of patterns and per-switch score cards. New patterns can be
+// added continuously, as the architecture intends.
+type DB struct {
+	mu       sync.RWMutex
+	patterns map[string]Pattern
+	scores   map[string]*ScoreCard
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{
+		patterns: make(map[string]Pattern),
+		scores:   make(map[string]*ScoreCard),
+	}
+}
+
+// PutPattern registers (or replaces) a pattern.
+func (db *DB) PutPattern(p Pattern) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.patterns[p.Name] = p
+}
+
+// GetPattern looks a pattern up by name.
+func (db *DB) GetPattern(name string) (Pattern, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, ok := db.patterns[name]
+	return p, ok
+}
+
+// Patterns returns the registered pattern names in sorted order.
+func (db *DB) Patterns() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.patterns))
+	for n := range db.patterns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PutScore stores the score card for a switch.
+func (db *DB) PutScore(card *ScoreCard) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.scores[card.SwitchName] = card
+}
+
+// Score returns the score card for a switch.
+func (db *DB) Score(switchName string) (*ScoreCard, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.scores[switchName]
+	return c, ok
+}
+
+// Switches returns the names of switches with score cards, sorted.
+func (db *DB) Switches() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.scores))
+	for n := range db.scores {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

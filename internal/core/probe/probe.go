@@ -1,0 +1,228 @@
+// Package probe implements Tango's probing engine (§4): it applies Tango
+// patterns — flow-mod sequences plus matching data traffic — to a switch
+// and collects timing measurements. The engine is transport-agnostic: it
+// drives anything satisfying Device, which both the in-process emulator
+// adapter (SimDevice, virtual time) and the TCP controller
+// (internal/ofconn.Controller, wall time) do.
+package probe
+
+import (
+	"fmt"
+	"time"
+
+	"tango/internal/core/pattern"
+	"tango/internal/flowtable"
+	"tango/internal/openflow"
+	"tango/internal/packet"
+	"tango/internal/switchsim"
+)
+
+// Device is the switch-side contract the probing engine needs: confirmed
+// flow-mods, probe packets with measured RTTs, and a clock consistent with
+// those measurements.
+type Device interface {
+	// FlowMod applies the operation and returns once it has completed
+	// (barrier semantics). Table-full rejections must return an error.
+	FlowMod(fm *openflow.FlowMod) error
+	// SendProbe injects the frame and reports its round-trip time and
+	// whether it was punted to the controller rather than forwarded.
+	SendProbe(data []byte, inPort uint16) (rtt time.Duration, punted bool, err error)
+	// Now returns the current time on the clock RTTs are measured against.
+	Now() time.Time
+}
+
+// TrafficSender is the optional Device extension for sending a burst of
+// identical packets in one call. Emulated switches support it natively;
+// over a live OpenFlow channel the engine falls back to a packet loop.
+type TrafficSender interface {
+	SendTraffic(data []byte, inPort uint16, count int) error
+}
+
+// SimDevice adapts an emulated switch to the Device interface using its
+// virtual clock, so probing an emulated switch is instantaneous in wall
+// time while observing exactly the modelled latencies.
+type SimDevice struct {
+	S *switchsim.Switch
+}
+
+// FlowMod implements Device.
+func (d SimDevice) FlowMod(fm *openflow.FlowMod) error { return d.S.FlowMod(fm) }
+
+// SendProbe implements Device.
+func (d SimDevice) SendProbe(data []byte, inPort uint16) (time.Duration, bool, error) {
+	res, err := d.S.SendPacket(data, inPort)
+	if err != nil {
+		return 0, false, err
+	}
+	return res.RTT, res.Path == switchsim.PathControl, nil
+}
+
+// Now implements Device.
+func (d SimDevice) Now() time.Time { return d.S.Now() }
+
+// SendTraffic implements TrafficSender with a single batched pipeline pass.
+func (d SimDevice) SendTraffic(data []byte, inPort uint16, count int) error {
+	_, err := d.S.SendPacketN(data, inPort, count)
+	return err
+}
+
+// Engine executes patterns against one device.
+type Engine struct {
+	dev Device
+	// InPort is the ingress port probe frames claim; the default 1 works
+	// for all emulated profiles.
+	InPort uint16
+	// frames caches built probe frames by flow ID — probing re-sends the
+	// same flows thousands of times.
+	frames map[uint32][]byte
+}
+
+// NewEngine returns an engine driving dev.
+func NewEngine(dev Device) *Engine {
+	return &Engine{dev: dev, InPort: 1, frames: make(map[uint32][]byte)}
+}
+
+// Device returns the engine's device.
+func (e *Engine) Device() Device { return e.dev }
+
+// frame returns (building if needed) the probe frame for flow id.
+func (e *Engine) frame(id uint32) ([]byte, error) {
+	if f, ok := e.frames[id]; ok {
+		return f, nil
+	}
+	f, err := packet.BuildProbe(packet.ProbeSpec{FlowID: id})
+	if err != nil {
+		return nil, err
+	}
+	e.frames[id] = f
+	return f, nil
+}
+
+// flowMod builds the flow-mod for one pattern op.
+func flowMod(op pattern.Op) *openflow.FlowMod {
+	fm := &openflow.FlowMod{
+		Match:    flowtable.ExactProbeMatch(op.FlowID),
+		Priority: op.Priority,
+		Actions:  flowtable.Output(2),
+	}
+	switch op.Kind {
+	case pattern.OpAdd:
+		fm.Command = openflow.FlowAdd
+	case pattern.OpMod:
+		fm.Command = openflow.FlowModifyStrict
+		fm.Actions = flowtable.Output(3) // modify to a different action
+	case pattern.OpDel:
+		fm.Command = openflow.FlowDeleteStrict
+		fm.Actions = nil
+	}
+	return fm
+}
+
+// Install adds the probe rule for flow id at the given priority.
+func (e *Engine) Install(id uint32, priority uint16) error {
+	return e.dev.FlowMod(flowMod(pattern.Op{Kind: pattern.OpAdd, FlowID: id, Priority: priority}))
+}
+
+// Modify rewrites the actions of flow id's rule.
+func (e *Engine) Modify(id uint32, priority uint16) error {
+	return e.dev.FlowMod(flowMod(pattern.Op{Kind: pattern.OpMod, FlowID: id, Priority: priority}))
+}
+
+// Delete removes flow id's rule.
+func (e *Engine) Delete(id uint32, priority uint16) error {
+	return e.dev.FlowMod(flowMod(pattern.Op{Kind: pattern.OpDel, FlowID: id, Priority: priority}))
+}
+
+// Probe sends flow id's frame and returns its RTT and whether it punted.
+func (e *Engine) Probe(id uint32) (time.Duration, bool, error) {
+	f, err := e.frame(id)
+	if err != nil {
+		return 0, false, err
+	}
+	return e.dev.SendProbe(f, e.InPort)
+}
+
+// SendTraffic drives flow id's packet counter up by count packets, using
+// the device's batched path when available.
+func (e *Engine) SendTraffic(id uint32, count int) error {
+	if count <= 0 {
+		return nil
+	}
+	f, err := e.frame(id)
+	if err != nil {
+		return err
+	}
+	if ts, ok := e.dev.(TrafficSender); ok {
+		return ts.SendTraffic(f, e.InPort, count)
+	}
+	for i := 0; i < count; i++ {
+		if _, _, err := e.dev.SendProbe(f, e.InPort); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProbeN sends flow id's frame n times, returning the last RTT.
+func (e *Engine) ProbeN(id uint32, n int) (time.Duration, bool, error) {
+	var (
+		rtt    time.Duration
+		punted bool
+		err    error
+	)
+	for i := 0; i < n; i++ {
+		rtt, punted, err = e.Probe(id)
+		if err != nil {
+			return rtt, punted, err
+		}
+	}
+	return rtt, punted, nil
+}
+
+// Run executes a pattern: every op in sequence (timed individually), then
+// the traffic steps. Op errors abort the run.
+func (e *Engine) Run(p pattern.Pattern) (pattern.Result, error) {
+	res := pattern.Result{Pattern: p.Name, Ops: make([]pattern.OpTiming, 0, len(p.Ops))}
+	start := e.dev.Now()
+	for _, op := range p.Ops {
+		opStart := e.dev.Now()
+		if err := e.dev.FlowMod(flowMod(op)); err != nil {
+			return res, fmt.Errorf("probe: op %s flow %d: %w", op.Kind, op.FlowID, err)
+		}
+		res.Ops = append(res.Ops, pattern.OpTiming{Op: op, Latency: e.dev.Now().Sub(opStart)})
+		if op.SendProbe {
+			if _, _, err := e.Probe(op.FlowID); err != nil {
+				return res, err
+			}
+		}
+	}
+	for _, ts := range p.Traffic {
+		for i := 0; i < ts.Count; i++ {
+			if _, _, err := e.Probe(ts.FlowID); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.Total = e.dev.Now().Sub(start)
+	return res, nil
+}
+
+// TimeOps executes ops (without traffic) and returns only the total time —
+// the measurement the scheduler experiments need.
+func (e *Engine) TimeOps(ops []pattern.Op) (time.Duration, error) {
+	start := e.dev.Now()
+	for _, op := range ops {
+		if err := e.dev.FlowMod(flowMod(op)); err != nil {
+			return e.dev.Now().Sub(start), err
+		}
+	}
+	return e.dev.Now().Sub(start), nil
+}
+
+// ClearProbeRules removes the probe rules for flows [base, base+n) at
+// priority p, restoring a switch between probing rounds.
+func (e *Engine) ClearProbeRules(base, n uint32, p uint16) {
+	for id := base; id < base+n; id++ {
+		_ = e.Delete(id, p)
+	}
+}

@@ -1,0 +1,450 @@
+// Package sched implements the Tango network scheduler (§6): it drains a
+// DAG of switch requests by repeatedly extracting the independent set,
+// ordering each switch's batch with the best-scoring rewrite pattern from
+// the Tango score database (Algorithm 3), and issuing the batches. A
+// Dionysus-style critical-path scheduler is provided as the comparison
+// baseline of §7.2 — it schedules the same DAG but is oblivious to per-
+// operation-type and priority-order cost diversity.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tango/internal/core/pattern"
+	"tango/internal/dag"
+)
+
+// Request is one switch request (the req_elem of §6): an operation to
+// perform at a given switch, optionally carrying an application-assigned
+// priority and a soft deadline.
+type Request struct {
+	// Switch is the location field: which switch executes the request.
+	Switch string
+	// Op is the operation type (add / mod / del).
+	Op pattern.OpKind
+	// FlowID identifies the rule the operation targets.
+	FlowID uint32
+	// Priority is the rule priority. Meaningful only when HasPriority.
+	Priority uint16
+	// HasPriority distinguishes app-specified priorities (priority sorting
+	// applies) from unassigned ones (priority enforcement may choose them).
+	HasPriority bool
+	// InstallBy is an optional deadline relative to schedule start; zero
+	// means best effort.
+	InstallBy time.Duration
+}
+
+// Graph is a dependency DAG over requests.
+type Graph = dag.Graph[*Request]
+
+// NewGraph returns an empty request graph.
+func NewGraph() *Graph { return dag.New[*Request]() }
+
+// Scheduler orders one switch's batch of independent requests.
+type Scheduler interface {
+	// Name labels the scheduler in experiment output.
+	Name() string
+	// Order returns reqs in issue order. ids are the corresponding DAG
+	// nodes (for critical-path computations); g is the full graph.
+	Order(switchName string, reqs []*Request, ids []dag.NodeID, g *Graph) []*Request
+}
+
+// Tango is the Basic Tango Scheduler of Algorithm 3 with the priority-
+// sorting optimization: it evaluates the rewrite patterns — all six
+// type-permutations crossed with ascending/descending add orders — against
+// the switch's score card and issues the cheapest.
+type Tango struct {
+	// DB supplies per-switch score cards. Switches without a card fall
+	// back to the universally safe pattern: deletes, then modifies, then
+	// additions in ascending priority order.
+	DB *pattern.DB
+	// SortPriorities enables reordering adds by priority (§7's "Priority
+	// sorting"). Without it adds keep their input order, so the scheduler
+	// optimizes only the type pattern ("Tango (Type)" in Figure 10).
+	SortPriorities bool
+	// ExistingHigher, when set, tells the pattern oracle how many rules
+	// with priority strictly above p the controller believes are resident
+	// on the switch — state the controller has, since it installed those
+	// rules. It lets the oracle see that deleting high-priority rules
+	// before adding saves TCAM shifts.
+	ExistingHigher func(switchName string, p uint16) int
+}
+
+// Name implements Scheduler.
+func (t *Tango) Name() string {
+	if t.SortPriorities {
+		return "tango-type+priority"
+	}
+	return "tango-type"
+}
+
+// Order implements Scheduler.
+func (t *Tango) Order(switchName string, reqs []*Request, _ []dag.NodeID, _ *Graph) []*Request {
+	var card *pattern.ScoreCard
+	if t.DB != nil {
+		card, _ = t.DB.Score(switchName)
+	}
+	if card == nil {
+		// No measurements: fall back to the pattern that is never worse on
+		// any switch we have modelled.
+		return t.assemble(reqs, [3]pattern.OpKind{pattern.OpDel, pattern.OpMod, pattern.OpAdd}, true)
+	}
+	var existing func(uint16) int
+	if t.ExistingHigher != nil {
+		existing = func(p uint16) int { return t.ExistingHigher(switchName, p) }
+	}
+	best := reqs
+	bestCost := time.Duration(-1)
+	addOrders := []bool{true}
+	if t.SortPriorities {
+		addOrders = []bool{true, false}
+	}
+	for _, perm := range pattern.Permutations3 {
+		for _, asc := range addOrders {
+			candidate := t.assemble(reqs, perm, asc)
+			cost := card.EstimateOps(toOps(candidate), existing)
+			if bestCost < 0 || cost < bestCost {
+				bestCost = cost
+				best = candidate
+			}
+		}
+	}
+	return best
+}
+
+// assemble groups requests by type in perm order; adds are sorted by
+// priority (ascending or descending) when priority sorting is on. Within
+// every group, deadline-carrying requests come first (earliest deadline
+// first) so best-effort requests absorb the tail of the batch — the
+// install_by semantics of the §6 request format.
+func (t *Tango) assemble(reqs []*Request, perm [3]pattern.OpKind, asc bool) []*Request {
+	out := make([]*Request, 0, len(reqs))
+	for _, kind := range perm {
+		group := make([]*Request, 0, len(reqs))
+		for _, r := range reqs {
+			if r.Op == kind {
+				group = append(group, r)
+			}
+		}
+		if kind == pattern.OpAdd && t.SortPriorities {
+			sort.SliceStable(group, func(a, b int) bool {
+				if asc {
+					return group[a].Priority < group[b].Priority
+				}
+				return group[a].Priority > group[b].Priority
+			})
+		}
+		sort.SliceStable(group, func(a, b int) bool {
+			da, db := group[a].InstallBy, group[b].InstallBy
+			switch {
+			case da > 0 && db > 0:
+				return da < db
+			case da > 0:
+				return true
+			default:
+				return false
+			}
+		})
+		out = append(out, group...)
+	}
+	return out
+}
+
+// Dionysus is the baseline: critical-path scheduling that issues requests
+// on longer dependency chains first but does not reorder by operation type
+// or priority — exactly the diversity-obliviousness §7.2 compares against.
+type Dionysus struct{}
+
+// Name implements Scheduler.
+func (Dionysus) Name() string { return "dionysus" }
+
+// Order implements Scheduler.
+func (Dionysus) Order(_ string, reqs []*Request, ids []dag.NodeID, g *Graph) []*Request {
+	lengths := g.LongestPathLengths()
+	idx := make([]int, len(reqs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return lengths[ids[idx[a]]] > lengths[ids[idx[b]]]
+	})
+	out := make([]*Request, len(reqs))
+	for i, j := range idx {
+		out[i] = reqs[j]
+	}
+	return out
+}
+
+// toOps converts requests to pattern ops.
+func toOps(reqs []*Request) []pattern.Op {
+	ops := make([]pattern.Op, len(reqs))
+	for i, r := range reqs {
+		ops[i] = pattern.Op{Kind: r.Op, FlowID: r.FlowID, Priority: r.Priority}
+	}
+	return ops
+}
+
+// Executor issues an ordered batch of operations on one switch and reports
+// how long the switch took. Experiments back this with per-switch emulated
+// engines running on independent virtual clocks.
+type Executor interface {
+	Execute(switchName string, ops []pattern.Op) (time.Duration, error)
+}
+
+// RunOptions tunes Run.
+type RunOptions struct {
+	// Concurrent enables the §6 extension that issues a request whose
+	// dependencies all sit on *other* switches in the same round, relying
+	// on latency estimates plus a guard interval instead of barriers
+	// (weak-consistency scenarios). GuardTime is added once per dependent
+	// request issued this way.
+	Concurrent bool
+	GuardTime  time.Duration
+	// NonGreedy enables the §6 non-greedy batching extension: before each
+	// round the runner compares (by score-card estimate) the greedy
+	// whole-independent-set batch against issuing only the prefix of
+	// requests that unblock successors, letting the freed successors ride
+	// in the next batch alongside the deferred remainder. Requires the
+	// scheduler to implement BatchEstimator; ignored otherwise.
+	NonGreedy bool
+}
+
+// BatchEstimator is the optional scheduler capability the non-greedy
+// extension needs: a cost estimate for executing a batch on a switch.
+type BatchEstimator interface {
+	EstimateBatch(switchName string, reqs []*Request) (time.Duration, bool)
+}
+
+// EstimateBatch implements BatchEstimator using the Tango score database.
+func (t *Tango) EstimateBatch(switchName string, reqs []*Request) (time.Duration, bool) {
+	if t.DB == nil {
+		return 0, false
+	}
+	card, ok := t.DB.Score(switchName)
+	if !ok {
+		return 0, false
+	}
+	ordered := t.Order(switchName, reqs, nil, nil)
+	var existing func(uint16) int
+	if t.ExistingHigher != nil {
+		existing = func(p uint16) int { return t.ExistingHigher(switchName, p) }
+	}
+	return card.EstimateOps(toOps(ordered), existing), true
+}
+
+// RunResult reports a schedule execution.
+type RunResult struct {
+	// Makespan is the network-wide completion time: rounds execute their
+	// per-switch batches in parallel, so each round costs its slowest
+	// switch, and rounds are serialised by the dependency barriers.
+	Makespan time.Duration
+	// Rounds is the number of dependency rounds used.
+	Rounds int
+	// PerSwitch is each switch's total busy time.
+	PerSwitch map[string]time.Duration
+	// DeadlineMisses counts requests whose switch batch completed after
+	// their InstallBy deadline (measured from schedule start). Best-effort
+	// requests (InstallBy == 0) never miss.
+	DeadlineMisses int
+}
+
+// Run drains the graph with the given scheduler and executor, returning
+// the simulated network-wide makespan.
+func Run(g *Graph, s Scheduler, exec Executor, opts RunOptions) (*RunResult, error) {
+	res := &RunResult{PerSwitch: map[string]time.Duration{}}
+	for g.Len() > 0 {
+		indep := g.IndependentSet()
+		if len(indep) == 0 {
+			return nil, fmt.Errorf("sched: dependency graph stuck with %d nodes", g.Len())
+		}
+		issue := append([]dag.NodeID(nil), indep...)
+		if opts.NonGreedy {
+			if est, ok := s.(BatchEstimator); ok {
+				issue = nonGreedyBatch(g, issue, est)
+			}
+		}
+		if opts.Concurrent {
+			issue = append(issue, crossSwitchFollowers(g, issue)...)
+		}
+		// Group by switch, preserving deterministic order.
+		bySwitch := map[string][]dag.NodeID{}
+		var switches []string
+		for _, id := range issue {
+			sw := g.Payload(id).Switch
+			if _, ok := bySwitch[sw]; !ok {
+				switches = append(switches, sw)
+			}
+			bySwitch[sw] = append(bySwitch[sw], id)
+		}
+		sort.Strings(switches)
+
+		var roundMax time.Duration
+		for _, sw := range switches {
+			ids := bySwitch[sw]
+			reqs := make([]*Request, len(ids))
+			guards := time.Duration(0)
+			for i, id := range ids {
+				reqs[i] = g.Payload(id)
+				if opts.Concurrent && len(g.Predecessors(id)) > 0 {
+					guards += opts.GuardTime
+				}
+			}
+			ordered := s.Order(sw, reqs, ids, g)
+			elapsed, err := exec.Execute(sw, toOps(ordered))
+			if err != nil {
+				return nil, fmt.Errorf("sched: executing %d ops on %s: %w", len(ordered), sw, err)
+			}
+			elapsed += guards
+			res.PerSwitch[sw] += elapsed
+			finish := res.Makespan + elapsed
+			for _, r := range ordered {
+				if r.InstallBy > 0 && finish > r.InstallBy {
+					res.DeadlineMisses++
+				}
+			}
+			if elapsed > roundMax {
+				roundMax = elapsed
+			}
+		}
+		res.Makespan += roundMax
+		res.Rounds++
+		for _, id := range issue {
+			if err := g.Remove(id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// nonGreedyBatch evaluates the §6 prefix alternative with a two-round
+// lookahead and returns the batch to issue this round: either the full
+// independent set (greedy) or only the subset with successors (prefix),
+// whichever the estimates say finishes the two rounds sooner.
+func nonGreedyBatch(g *Graph, indep []dag.NodeID, est BatchEstimator) []dag.NodeID {
+	var prefix, rest []dag.NodeID
+	for _, id := range indep {
+		if len(g.Successors(id)) > 0 {
+			prefix = append(prefix, id)
+		} else {
+			rest = append(rest, id)
+		}
+	}
+	if len(prefix) == 0 || len(rest) == 0 {
+		return indep
+	}
+	inSet := func(ids []dag.NodeID) map[dag.NodeID]bool {
+		m := make(map[dag.NodeID]bool, len(ids))
+		for _, id := range ids {
+			m[id] = true
+		}
+		return m
+	}
+	// unlockedBy returns the nodes whose predecessors all sit in batch.
+	unlockedBy := func(batch map[dag.NodeID]bool) []dag.NodeID {
+		var out []dag.NodeID
+		seen := map[dag.NodeID]bool{}
+		for id := range batch {
+			for _, succ := range g.Successors(id) {
+				if seen[succ] || batch[succ] {
+					continue
+				}
+				seen[succ] = true
+				ok := true
+				for _, p := range g.Predecessors(succ) {
+					if !batch[p] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					out = append(out, succ)
+				}
+			}
+		}
+		return out
+	}
+	roundCost := func(ids []dag.NodeID) (time.Duration, bool) {
+		bySwitch := map[string][]*Request{}
+		for _, id := range ids {
+			r := g.Payload(id)
+			bySwitch[r.Switch] = append(bySwitch[r.Switch], r)
+		}
+		var max time.Duration
+		for sw, reqs := range bySwitch {
+			d, ok := est.EstimateBatch(sw, reqs)
+			if !ok {
+				return 0, false
+			}
+			if d > max {
+				max = d
+			}
+		}
+		return max, true
+	}
+
+	// Greedy: round 1 = indep, round 2 = everything indep unlocks.
+	g1, ok1 := roundCost(indep)
+	g2, ok2 := roundCost(unlockedBy(inSet(indep)))
+	// Prefix: round 1 = prefix, round 2 = rest + what the prefix unlocks.
+	p1, ok3 := roundCost(prefix)
+	p2, ok4 := roundCost(append(append([]dag.NodeID(nil), rest...), unlockedBy(inSet(prefix))...))
+	if !(ok1 && ok2 && ok3 && ok4) {
+		return indep
+	}
+	if p1+p2 < g1+g2 {
+		return prefix
+	}
+	return indep
+}
+
+// crossSwitchFollowers returns nodes not in the independent set whose
+// predecessors (a) are all being issued this round and (b) all live on
+// other switches — the candidates the concurrent extension may co-issue.
+func crossSwitchFollowers(g *Graph, indep []dag.NodeID) []dag.NodeID {
+	inRound := map[dag.NodeID]bool{}
+	for _, id := range indep {
+		inRound[id] = true
+	}
+	var extra []dag.NodeID
+	for _, id := range indep {
+		for _, succ := range g.Successors(id) {
+			if inRound[succ] {
+				continue
+			}
+			ok := true
+			for _, p := range g.Predecessors(succ) {
+				if !inRound[p] || g.Payload(p).Switch == g.Payload(succ).Switch {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				inRound[succ] = true
+				extra = append(extra, succ)
+			}
+		}
+	}
+	return extra
+}
+
+// EnforcePriorities implements the "priority enforcement" optimization of
+// §7.2: when applications leave priorities unassigned, Tango chooses them.
+// Requests at DAG depth d receive priority base+d, so (a) every dependency
+// constraint is satisfiable by installing in ascending priority order and
+// (b) the number of distinct priorities is the minimum possible — the DAG
+// depth — which maximises cheap same-priority installations.
+func EnforcePriorities(g *Graph, base uint16) {
+	levels := g.Levels()
+	for depth, nodes := range levels {
+		for _, id := range nodes {
+			r := g.Payload(id)
+			if !r.HasPriority {
+				r.Priority = base + uint16(depth)
+				r.HasPriority = true
+			}
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package flowtable
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"tango/internal/packet"
+)
+
+// ActionType discriminates rule actions.
+type ActionType uint8
+
+// Supported actions. An empty action list means drop, as in OpenFlow.
+const (
+	// ActionOutput forwards matching frames to Port.
+	ActionOutput ActionType = iota
+	// ActionController punts matching frames to the controller.
+	ActionController
+)
+
+// Action is one forwarding action of a rule.
+type Action struct {
+	Type ActionType
+	Port uint16
+}
+
+// Output is shorthand for an output action to port p.
+func Output(p uint16) []Action { return []Action{{Type: ActionOutput, Port: p}} }
+
+// Rule is one flow entry: a match, a priority, and actions, plus the
+// per-flow statistics OpenFlow switches maintain and Tango's switch model
+// assumes cache policies read (time since insertion, time since last use,
+// traffic count, rule priority — the ATTRIB set of §5.1).
+type Rule struct {
+	Match    Match
+	Priority uint16
+	Actions  []Action
+	Cookie   uint64
+
+	// IdleTimeout and HardTimeout expire the rule (seconds; 0 = never):
+	// idle counts from the last matched packet, hard from installation.
+	IdleTimeout uint16
+	HardTimeout uint16
+	// SendFlowRem requests a FLOW_REMOVED notification when the rule dies.
+	SendFlowRem bool
+
+	// Stats are updated by the pipeline on every matched frame.
+	Packets uint64
+	Bytes   uint64
+
+	// InstalledAt and LastUsedAt are bookkeeping for cache policies.
+	InstalledAt time.Time
+	LastUsedAt  time.Time
+
+	// seq is a monotonically increasing insertion sequence number used to
+	// keep ordering deterministic among equal-priority rules and to serve
+	// as a tie-free "time since insertion" attribute.
+	seq uint64
+}
+
+// Seq returns the rule's insertion sequence number within its table.
+func (r *Rule) Seq() uint64 { return r.seq }
+
+// Table is a priority-ordered flow table. Rules are kept sorted by
+// descending priority; among equal priorities, earlier insertions come
+// first. This mirrors a TCAM whose physical order encodes priority, which is
+// exactly why rule insertion cost depends on priority order (§3 of the
+// paper): inserting above existing entries displaces them.
+//
+// Table is not safe for concurrent use; the switch emulator serialises
+// access.
+type Table struct {
+	rules   []*Rule
+	nextSeq uint64
+	// Capacity limits the number of rules; 0 means unbounded (software
+	// tables are "virtually unlimited").
+	Capacity int
+
+	// exact indexes rules that pin both IP endpoints to single addresses
+	// (the shape every probe rule has), keyed by (src, dst). Lookups check
+	// the index plus the small residue of non-indexable rules, which keeps
+	// probing workloads — tens of thousands of packets against thousands of
+	// rules — linear instead of quadratic. wild holds the non-indexable
+	// rules in table order.
+	exact map[ipPair][]*Rule
+	wild  []*Rule
+}
+
+// ipPair is the exact-index key.
+type ipPair struct {
+	src, dst netip.Addr
+}
+
+// indexKey returns the index key for m, and whether m is indexable: it must
+// constrain both nw_src and nw_dst to /32 prefixes, so only frames carrying
+// exactly those addresses can match it.
+func indexKey(m *Match) (ipPair, bool) {
+	if !m.Has(FieldNwSrc) || !m.Has(FieldNwDst) {
+		return ipPair{}, false
+	}
+	if m.NwSrc.Bits() != 32 || m.NwDst.Bits() != 32 {
+		return ipPair{}, false
+	}
+	return ipPair{m.NwSrc.Addr(), m.NwDst.Addr()}, true
+}
+
+// indexInsert registers r in the lookup acceleration structures.
+func (t *Table) indexInsert(r *Rule) {
+	if k, ok := indexKey(&r.Match); ok {
+		if t.exact == nil {
+			t.exact = make(map[ipPair][]*Rule)
+		}
+		t.exact[k] = append(t.exact[k], r)
+		return
+	}
+	// Maintain wild in table order: descending priority, FIFO within equal.
+	pos := 0
+	for pos < len(t.wild) {
+		w := t.wild[pos]
+		if w.Priority > r.Priority || (w.Priority == r.Priority && w.seq < r.seq) {
+			pos++
+			continue
+		}
+		break
+	}
+	t.wild = append(t.wild, nil)
+	copy(t.wild[pos+1:], t.wild[pos:])
+	t.wild[pos] = r
+}
+
+// indexRemove unregisters r.
+func (t *Table) indexRemove(r *Rule) {
+	if k, ok := indexKey(&r.Match); ok {
+		list := t.exact[k]
+		for i, rr := range list {
+			if rr == r {
+				t.exact[k] = append(list[:i], list[i+1:]...)
+				if len(t.exact[k]) == 0 {
+					delete(t.exact, k)
+				}
+				return
+			}
+		}
+		return
+	}
+	for i, rr := range t.wild {
+		if rr == r {
+			t.wild = append(t.wild[:i], t.wild[i+1:]...)
+			return
+		}
+	}
+}
+
+// Errors returned by table mutations.
+var (
+	ErrTableFull = errors.New("flowtable: table full")
+	ErrNotFound  = errors.New("flowtable: no matching rule")
+)
+
+// Len returns the number of installed rules.
+func (t *Table) Len() int { return len(t.rules) }
+
+// Rules returns the rules in TCAM (priority) order. The slice is shared;
+// callers must not mutate it.
+func (t *Table) Rules() []*Rule { return t.rules }
+
+// insertionPoint returns the index at which a rule with priority p would be
+// inserted: after all rules with priority >= p.
+func (t *Table) insertionPoint(p uint16) int {
+	lo, hi := 0, len(t.rules)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.rules[mid].Priority >= p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// InsertShiftCost returns how many existing entries an insertion at priority
+// p would displace — the quantity the hardware cost model charges for.
+func (t *Table) InsertShiftCost(p uint16) int {
+	return len(t.rules) - t.insertionPoint(p)
+}
+
+// CountHigher returns the number of rules with priority strictly greater
+// than p. In a bottom-packed TCAM these are the entries that must shift to
+// make room below them for a new priority-p rule, which is why descending-
+// priority installation is expensive (§3 of the paper).
+func (t *Table) CountHigher(p uint16) int {
+	lo, hi := 0, len(t.rules)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.rules[mid].Priority > p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds rule r at its priority position, stamping bookkeeping fields.
+// It returns the number of displaced entries, or ErrTableFull when at
+// capacity. Duplicate (match, priority) pairs overwrite the existing rule's
+// actions in place, per OpenFlow ADD semantics, at zero shift cost.
+func (t *Table) Insert(r *Rule, now time.Time) (shifted int, err error) {
+	if existing := t.find(&r.Match, r.Priority); existing != nil {
+		existing.Actions = r.Actions
+		existing.Cookie = r.Cookie
+		return 0, nil
+	}
+	if t.Capacity > 0 && len(t.rules) >= t.Capacity {
+		return 0, ErrTableFull
+	}
+	pos := t.insertionPoint(r.Priority)
+	shifted = len(t.rules) - pos
+	r.seq = t.nextSeq
+	t.nextSeq++
+	r.InstalledAt = now
+	r.LastUsedAt = now
+	t.rules = append(t.rules, nil)
+	copy(t.rules[pos+1:], t.rules[pos:])
+	t.rules[pos] = r
+	t.indexInsert(r)
+	return shifted, nil
+}
+
+// find returns the rule with an identical match and priority, or nil.
+func (t *Table) find(m *Match, priority uint16) *Rule {
+	for _, r := range t.rules {
+		if r.Priority == priority && r.Match.Same(m) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Modify replaces the actions of the rule identified by (match, priority).
+// Per the paper's measurements this is far cheaper than an add on hardware
+// because no TCAM entries shift; the table therefore reports zero shifts.
+func (t *Table) Modify(m *Match, priority uint16, actions []Action) error {
+	r := t.find(m, priority)
+	if r == nil {
+		return ErrNotFound
+	}
+	r.Actions = actions
+	return nil
+}
+
+// Delete removes the rule identified by (match, priority) and returns it.
+func (t *Table) Delete(m *Match, priority uint16) (*Rule, error) {
+	for i, r := range t.rules {
+		if r.Priority == priority && r.Match.Same(m) {
+			t.rules = append(t.rules[:i], t.rules[i+1:]...)
+			t.indexRemove(r)
+			return r, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Remove deletes the given rule pointer if present (used by cache eviction).
+func (t *Table) Remove(target *Rule) bool {
+	for i, r := range t.rules {
+		if r == target {
+			t.rules = append(t.rules[:i], t.rules[i+1:]...)
+			t.indexRemove(r)
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the highest-priority rule matching frame f on inPort, or
+// nil on a miss. Statistics are NOT updated; the pipeline decides where a
+// frame "hits" across its table hierarchy and then calls Touch. Ties between
+// equal-priority rules resolve to the earliest installed, exactly as the
+// priority-ordered scan of the full table would.
+func (t *Table) Lookup(f *packet.Frame, inPort uint16) *Rule {
+	var best *Rule
+	if f.HasIPv4 {
+		for _, r := range t.exact[ipPair{f.IP.Src, f.IP.Dst}] {
+			if !r.Match.Matches(f, inPort) {
+				continue
+			}
+			if best == nil || r.Priority > best.Priority ||
+				(r.Priority == best.Priority && r.seq < best.seq) {
+				best = r
+			}
+		}
+	}
+	for _, r := range t.wild {
+		if best != nil && (r.Priority < best.Priority ||
+			(r.Priority == best.Priority && r.seq > best.seq)) {
+			break // wild is in table order; nothing later can beat best
+		}
+		if r.Match.Matches(f, inPort) {
+			return r
+		}
+	}
+	return best
+}
+
+// Touch records a frame hit on rule r.
+func (r *Rule) Touch(bytes int, now time.Time) {
+	r.Packets++
+	r.Bytes += uint64(bytes)
+	r.LastUsedAt = now
+}
+
+// Validate checks internal ordering invariants; tests call it after
+// randomised operation sequences.
+func (t *Table) Validate() error {
+	for i := 1; i < len(t.rules); i++ {
+		a, b := t.rules[i-1], t.rules[i]
+		if a.Priority < b.Priority {
+			return fmt.Errorf("flowtable: priority order violated at %d (%d < %d)", i, a.Priority, b.Priority)
+		}
+		if a.Priority == b.Priority && a.seq > b.seq {
+			return fmt.Errorf("flowtable: FIFO order violated among priority %d", a.Priority)
+		}
+	}
+	if t.Capacity > 0 && len(t.rules) > t.Capacity {
+		return fmt.Errorf("flowtable: %d rules exceed capacity %d", len(t.rules), t.Capacity)
+	}
+	return nil
+}

@@ -1,0 +1,517 @@
+package flowtable
+
+import (
+	"errors"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tango/internal/packet"
+)
+
+var t0 = time.Date(2014, 12, 2, 0, 0, 0, 0, time.UTC)
+
+func mkRule(id uint32, prio uint16) *Rule {
+	return &Rule{Match: ExactProbeMatch(id), Priority: prio, Actions: Output(1)}
+}
+
+func TestWidthClassification(t *testing.T) {
+	cases := []struct {
+		m    Match
+		want Width
+	}{
+		{ExactProbeMatch(1), WidthL2L3},
+		{L2ProbeMatch(1), WidthL2},
+		{L3ProbeMatch(1), WidthL3},
+		{Match{}, WidthNone},
+		{Match{Fields: FieldInPort, InPort: 3}, WidthNone},
+	}
+	for _, c := range cases {
+		if got := c.m.Width(); got != c.want {
+			t.Errorf("Width(%s) = %v, want %v", c.m.String(), got, c.want)
+		}
+	}
+}
+
+func TestMatchesProbeFrame(t *testing.T) {
+	raw, err := packet.BuildProbe(packet.ProbeSpec{FlowID: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := packet.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ExactProbeMatch(9)
+	if !m.Matches(f, 1) {
+		t.Fatal("exact match failed on own probe frame")
+	}
+	other := ExactProbeMatch(10)
+	if other.Matches(f, 1) {
+		t.Fatal("match for flow 10 accepted flow 9's frame")
+	}
+	l2 := L2ProbeMatch(9)
+	if !l2.Matches(f, 1) {
+		t.Fatal("L2 match failed")
+	}
+	l3 := L3ProbeMatch(9)
+	if !l3.Matches(f, 1) {
+		t.Fatal("L3 match failed")
+	}
+}
+
+func TestMatchInPortAndWildcard(t *testing.T) {
+	raw, _ := packet.BuildProbe(packet.ProbeSpec{FlowID: 1})
+	f, _ := packet.Decode(raw)
+	m := Match{Fields: FieldInPort, InPort: 2}
+	if m.Matches(f, 1) {
+		t.Fatal("in_port=2 matched port 1")
+	}
+	if !m.Matches(f, 2) {
+		t.Fatal("in_port=2 failed on port 2")
+	}
+	var any Match
+	if !any.Matches(f, 7) {
+		t.Fatal("wildcard match failed")
+	}
+}
+
+func TestMatchL3OnNonIP(t *testing.T) {
+	e := packet.Ethernet{EtherType: packet.EtherTypeARP}
+	raw := e.AppendTo(nil)
+	f, err := packet.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := L3ProbeMatch(1)
+	if m.Matches(f, 1) {
+		t.Fatal("L3 match accepted non-IP frame")
+	}
+	tp := Match{Fields: FieldTpDst, TpDst: 80}
+	if tp.Matches(f, 1) {
+		t.Fatal("transport match accepted non-IP frame")
+	}
+}
+
+func TestPrefixMatch(t *testing.T) {
+	raw, _ := packet.BuildProbe(packet.ProbeSpec{FlowID: 300}) // 10.83.1.44
+	f, _ := packet.Decode(raw)
+	m := Match{Fields: FieldNwSrc, NwSrc: netip.MustParsePrefix("10.83.0.0/16")}
+	if !m.Matches(f, 1) {
+		t.Fatal("/16 prefix failed")
+	}
+	m.NwSrc = netip.MustParsePrefix("10.90.0.0/16")
+	if m.Matches(f, 1) {
+		t.Fatal("wrong /16 prefix matched")
+	}
+}
+
+func TestCoversAndOverlaps(t *testing.T) {
+	wide := Match{Fields: FieldNwDst, NwDst: netip.MustParsePrefix("10.0.0.0/8")}
+	narrow := Match{Fields: FieldNwDst, NwDst: netip.MustParsePrefix("10.1.0.0/16")}
+	if !wide.Covers(&narrow) {
+		t.Fatal("/8 should cover /16")
+	}
+	if narrow.Covers(&wide) {
+		t.Fatal("/16 should not cover /8")
+	}
+	if !wide.Overlaps(&narrow) || !narrow.Overlaps(&wide) {
+		t.Fatal("nested prefixes must overlap")
+	}
+	disjoint := Match{Fields: FieldNwDst, NwDst: netip.MustParsePrefix("192.168.0.0/16")}
+	if wide.Overlaps(&disjoint) {
+		t.Fatal("disjoint prefixes overlap")
+	}
+	// A match constraining extra fields cannot cover one that doesn't.
+	extra := Match{Fields: FieldNwDst | FieldTpDst, NwDst: netip.MustParsePrefix("10.0.0.0/8"), TpDst: 80}
+	if extra.Covers(&narrow) {
+		t.Fatal("more-specific fields cannot cover")
+	}
+	if !narrow.Covers(&narrow) {
+		t.Fatal("match must cover itself")
+	}
+}
+
+func TestSame(t *testing.T) {
+	a := ExactProbeMatch(5)
+	b := ExactProbeMatch(5)
+	if !a.Same(&b) {
+		t.Fatal("identical matches not Same")
+	}
+	c := ExactProbeMatch(6)
+	if a.Same(&c) {
+		t.Fatal("different matches Same")
+	}
+}
+
+func TestInsertOrderAndShifts(t *testing.T) {
+	var tbl Table
+	// Ascending priority: every insert lands at the top — displaces all?
+	// No: insertionPoint puts higher priority first; inserting ascending
+	// priorities means each new rule goes *before* existing lower ones.
+	// The shift count equals the number of rules with lower priority.
+	s1, err := tbl.Insert(mkRule(1, 10), t0)
+	if err != nil || s1 != 0 {
+		t.Fatalf("first insert: shifted=%d err=%v", s1, err)
+	}
+	s2, _ := tbl.Insert(mkRule(2, 20), t0)
+	if s2 != 1 {
+		t.Fatalf("higher-priority insert shifted %d, want 1", s2)
+	}
+	s3, _ := tbl.Insert(mkRule(3, 5), t0)
+	if s3 != 0 {
+		t.Fatalf("lowest-priority insert shifted %d, want 0", s3)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prios := []uint16{20, 10, 5}
+	for i, r := range tbl.Rules() {
+		if r.Priority != prios[i] {
+			t.Fatalf("position %d has priority %d, want %d", i, r.Priority, prios[i])
+		}
+	}
+}
+
+func TestInsertEqualPriorityFIFO(t *testing.T) {
+	var tbl Table
+	for id := uint32(0); id < 5; id++ {
+		if shifted, err := tbl.Insert(mkRule(id, 100), t0); err != nil || shifted != 0 {
+			t.Fatalf("equal-priority insert: shifted=%d err=%v", shifted, err)
+		}
+	}
+	for i, r := range tbl.Rules() {
+		if r.Seq() != uint64(i) {
+			t.Fatalf("equal-priority order broken at %d", i)
+		}
+	}
+}
+
+func TestInsertDuplicateOverwrites(t *testing.T) {
+	var tbl Table
+	r := mkRule(1, 10)
+	if _, err := tbl.Insert(r, t0); err != nil {
+		t.Fatal(err)
+	}
+	dup := mkRule(1, 10)
+	dup.Actions = Output(9)
+	shifted, err := tbl.Insert(dup, t0)
+	if err != nil || shifted != 0 {
+		t.Fatalf("duplicate insert: shifted=%d err=%v", shifted, err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tbl.Len())
+	}
+	if tbl.Rules()[0].Actions[0].Port != 9 {
+		t.Fatal("duplicate insert did not overwrite actions")
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	tbl := Table{Capacity: 2}
+	tbl.Insert(mkRule(1, 1), t0)
+	tbl.Insert(mkRule(2, 1), t0)
+	if _, err := tbl.Insert(mkRule(3, 1), t0); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("err = %v, want ErrTableFull", err)
+	}
+}
+
+func TestModifyDelete(t *testing.T) {
+	var tbl Table
+	tbl.Insert(mkRule(1, 10), t0)
+	m := ExactProbeMatch(1)
+	if err := tbl.Modify(&m, 10, Output(4)); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rules()[0].Actions[0].Port != 4 {
+		t.Fatal("modify did not take")
+	}
+	if err := tbl.Modify(&m, 11, Output(4)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("modify wrong priority err = %v, want ErrNotFound", err)
+	}
+	r, err := tbl.Delete(&m, 10)
+	if err != nil || r == nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if tbl.Len() != 0 {
+		t.Fatal("delete left rule behind")
+	}
+	if _, err := tbl.Delete(&m, 10); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestLookupPriorityWins(t *testing.T) {
+	var tbl Table
+	raw, _ := packet.BuildProbe(packet.ProbeSpec{FlowID: 77})
+	f, _ := packet.Decode(raw)
+
+	low := &Rule{Match: Match{}, Priority: 1, Actions: Output(1)} // match-all
+	hi := mkRule(77, 500)
+	hi.Actions = Output(2)
+	tbl.Insert(low, t0)
+	tbl.Insert(hi, t0)
+	got := tbl.Lookup(f, 1)
+	if got != hi {
+		t.Fatal("lookup did not return highest-priority match")
+	}
+	// A frame matching only the wildcard rule falls back to it.
+	raw2, _ := packet.BuildProbe(packet.ProbeSpec{FlowID: 78})
+	f2, _ := packet.Decode(raw2)
+	if got := tbl.Lookup(f2, 1); got != low {
+		t.Fatal("wildcard fallback failed")
+	}
+}
+
+func TestTouch(t *testing.T) {
+	r := mkRule(1, 1)
+	r.Touch(100, t0.Add(time.Second))
+	r.Touch(50, t0.Add(2*time.Second))
+	if r.Packets != 2 || r.Bytes != 150 {
+		t.Fatalf("stats = %d pkts %d bytes", r.Packets, r.Bytes)
+	}
+	if !r.LastUsedAt.Equal(t0.Add(2 * time.Second)) {
+		t.Fatal("LastUsedAt not updated")
+	}
+}
+
+func TestTCAMSingleWideRejectsWide(t *testing.T) {
+	tc := NewTCAM(TCAMConfig{Mode: ModeSingleWide, CapacityNarrow: 4})
+	r := mkRule(1, 1) // L2+L3
+	if _, err := tc.Insert(r, t0); !errors.Is(err, ErrWidthUnsupported) {
+		t.Fatalf("err = %v, want ErrWidthUnsupported", err)
+	}
+	nr := &Rule{Match: L3ProbeMatch(1), Priority: 1}
+	if _, err := tc.Insert(nr, t0); err != nil {
+		t.Fatal(err)
+	}
+	if tc.EffectiveCapacity(WidthL3) != 3 {
+		t.Fatalf("effective capacity = %d, want 3", tc.EffectiveCapacity(WidthL3))
+	}
+}
+
+func TestTCAMDoubleWideFlat(t *testing.T) {
+	// Switch #2 style: 2560 entries no matter the mix. Scaled to 6 here.
+	tc := NewTCAM(TCAMConfig{Mode: ModeDoubleWide, CapacityNarrow: 6, CapacityWide: 6})
+	for id := uint32(0); id < 3; id++ {
+		if _, err := tc.Insert(&Rule{Match: L2ProbeMatch(id), Priority: 1}, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := uint32(10); id < 13; id++ {
+		if _, err := tc.Insert(mkRule(id, 1), t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tc.Insert(mkRule(99, 1), t0); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("err = %v, want ErrTableFull", err)
+	}
+}
+
+func TestTCAMAdaptiveMixing(t *testing.T) {
+	// Switch #3 style, scaled: 6 narrow or 3 wide.
+	tc := NewTCAM(TCAMConfig{Mode: ModeAdaptive, CapacityNarrow: 6, CapacityWide: 3})
+	// One wide entry consumes the space of two narrow ones.
+	if _, err := tc.Insert(mkRule(1, 1), t0); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.EffectiveCapacity(WidthL2); got != 4 {
+		t.Fatalf("narrow capacity after one wide = %d, want 4", got)
+	}
+	for id := uint32(10); id < 14; id++ {
+		if _, err := tc.Insert(&Rule{Match: L2ProbeMatch(id), Priority: 1}, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tc.Fits(WidthL2) || tc.Fits(WidthL2L3) {
+		t.Fatal("full TCAM still admits entries")
+	}
+	// Deleting the wide entry frees room for two narrow entries.
+	m := ExactProbeMatch(1)
+	if _, err := tc.Delete(&m, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.EffectiveCapacity(WidthL2); got != 2 {
+		t.Fatalf("narrow capacity after delete = %d, want 2", got)
+	}
+}
+
+func TestTCAMRemoveReleasesSpace(t *testing.T) {
+	tc := NewTCAM(TCAMConfig{Mode: ModeDoubleWide, CapacityNarrow: 1, CapacityWide: 1})
+	r := mkRule(1, 1)
+	if _, err := tc.Insert(r, t0); err != nil {
+		t.Fatal(err)
+	}
+	if !tc.Remove(r) {
+		t.Fatal("remove failed")
+	}
+	if tc.Remove(r) {
+		t.Fatal("double remove succeeded")
+	}
+	if _, err := tc.Insert(mkRule(2, 1), t0); err != nil {
+		t.Fatalf("space not released: %v", err)
+	}
+}
+
+func TestTCAMTable1Capacities(t *testing.T) {
+	// Full-scale checks against Table 1 of the paper.
+	cases := []struct {
+		name        string
+		cfg         TCAMConfig
+		wide        bool
+		wantInstall int
+	}{
+		{"switch1-single-L3", TCAMConfig{Mode: ModeSingleWide, CapacityNarrow: 4096}, false, 4096},
+		{"switch1-double", TCAMConfig{Mode: ModeDoubleWide, CapacityNarrow: 2048, CapacityWide: 2048}, true, 2048},
+		{"switch2-any", TCAMConfig{Mode: ModeDoubleWide, CapacityNarrow: 2560, CapacityWide: 2560}, false, 2560},
+		{"switch3-narrow", TCAMConfig{Mode: ModeAdaptive, CapacityNarrow: 767, CapacityWide: 369}, false, 767},
+		{"switch3-wide", TCAMConfig{Mode: ModeAdaptive, CapacityNarrow: 767, CapacityWide: 369}, true, 369},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tc := NewTCAM(c.cfg)
+			n := 0
+			for id := uint32(0); ; id++ {
+				var r *Rule
+				if c.wide {
+					r = mkRule(id, 1)
+				} else {
+					r = &Rule{Match: L3ProbeMatch(id), Priority: 1}
+				}
+				if _, err := tc.Insert(r, t0); err != nil {
+					break
+				}
+				n++
+				if n > c.wantInstall+10 {
+					break
+				}
+			}
+			if n != c.wantInstall {
+				t.Fatalf("installed %d rules, want %d", n, c.wantInstall)
+			}
+		})
+	}
+}
+
+// Property: after any random sequence of inserts/deletes the table ordering
+// invariants hold and lookups always return the first match in rule order.
+func TestTableRandomOpsInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tbl Table
+		alive := map[uint32]uint16{}
+		for op := 0; op < 200; op++ {
+			id := uint32(rng.Intn(50))
+			prio := uint16(rng.Intn(8) * 10)
+			if rng.Float64() < 0.6 {
+				if _, err := tbl.Insert(mkRule(id, prio), t0); err != nil {
+					return false
+				}
+				alive[id] = prio
+			} else if p, ok := alive[id]; ok {
+				m := ExactProbeMatch(id)
+				if _, err := tbl.Delete(&m, p); err != nil {
+					// Duplicate (match,prio) inserts overwrite, so a delete
+					// can only fail if we never inserted this pair.
+					return false
+				}
+				delete(alive, id)
+			}
+			if tbl.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: InsertShiftCost agrees with the shift count Insert reports.
+func TestShiftCostConsistency(t *testing.T) {
+	f := func(prios []uint16) bool {
+		var tbl Table
+		for i, p := range prios {
+			if i > 300 {
+				break
+			}
+			want := tbl.InsertShiftCost(p)
+			got, err := tbl.Insert(mkRule(uint32(i), p), t0)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return tbl.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLookupIndexEquivalence verifies the exact-IP index fast path returns
+// exactly what a naive priority-ordered scan would, across random mixes of
+// indexable (exact-IP) and wildcard rules and random probe frames.
+func TestLookupIndexEquivalence(t *testing.T) {
+	naiveLookup := func(tbl *Table, f *packet.Frame, inPort uint16) *Rule {
+		for _, r := range tbl.Rules() {
+			if r.Match.Matches(f, inPort) {
+				return r
+			}
+		}
+		return nil
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tbl Table
+		// Exact probe rules over a small flow space (collisions intended).
+		for i := 0; i < 60; i++ {
+			id := uint32(rng.Intn(20))
+			prio := uint16(rng.Intn(5) * 10)
+			tbl.Insert(&Rule{Match: ExactProbeMatch(id), Priority: prio, Actions: Output(1)}, t0)
+		}
+		// Wildcard rules: prefixes over the probe address space + match-all.
+		for i := 0; i < 10; i++ {
+			bits := 8 + rng.Intn(24)
+			m := Match{
+				Fields: FieldNwSrc,
+				NwSrc:  netip.PrefixFrom(packet.ProbeSrcIP(uint32(rng.Intn(20))), bits).Masked(),
+			}
+			tbl.Insert(&Rule{Match: m, Priority: uint16(rng.Intn(5) * 10), Actions: Output(2)}, t0)
+		}
+		tbl.Insert(&Rule{Match: Match{}, Priority: 0, Actions: Output(3)}, t0)
+
+		for probe := 0; probe < 40; probe++ {
+			raw, err := packet.BuildProbe(packet.ProbeSpec{FlowID: uint32(rng.Intn(25))})
+			if err != nil {
+				return false
+			}
+			fr, err := packet.Decode(raw)
+			if err != nil {
+				return false
+			}
+			if tbl.Lookup(fr, 1) != naiveLookup(&tbl, fr, 1) {
+				return false
+			}
+		}
+		// Also after random deletions.
+		for _, r := range append([]*Rule(nil), tbl.Rules()...) {
+			if rng.Float64() < 0.3 {
+				tbl.Remove(r)
+			}
+		}
+		for probe := 0; probe < 40; probe++ {
+			raw, _ := packet.BuildProbe(packet.ProbeSpec{FlowID: uint32(rng.Intn(25))})
+			fr, _ := packet.Decode(raw)
+			if tbl.Lookup(fr, 1) != naiveLookup(&tbl, fr, 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

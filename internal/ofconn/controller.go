@@ -1,0 +1,359 @@
+package ofconn
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tango/internal/openflow"
+	"tango/internal/switchsim"
+)
+
+// Controller is one controller-side OpenFlow connection to a switch. Its
+// method set satisfies the probing engine's Device interface, so the same
+// inference code runs against an in-process emulated switch or a live TCP
+// endpoint.
+type Controller struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	nextXID uint32
+	pending map[uint32]chan openflow.Message
+	readErr error
+	closed  chan struct{}
+
+	// notify buffers unsolicited switch messages (FLOW_REMOVED,
+	// PORT_STATUS, async PACKET_IN). When full, the oldest notification is
+	// dropped — the controller favours liveness over completeness, like
+	// every production controller's event queue.
+	notify chan openflow.Message
+
+	features *openflow.FeaturesReply
+}
+
+// ErrClosed is returned for operations on a closed controller connection.
+var ErrClosed = errors.New("ofconn: connection closed")
+
+// Dial connects to an OpenFlow switch at addr, performs the HELLO and
+// FEATURES handshake, and returns a ready controller.
+func Dial(addr string) (*Controller, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewController(conn)
+}
+
+// NewController wraps an established connection (also used in tests over
+// net.Pipe) and performs the handshake.
+func NewController(conn net.Conn) (*Controller, error) {
+	c := &Controller{
+		conn:    conn,
+		pending: make(map[uint32]chan openflow.Message),
+		closed:  make(chan struct{}),
+		notify:  make(chan openflow.Message, 256),
+	}
+	go c.readLoop()
+	if err := c.handshake(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Controller) readLoop() {
+	for {
+		msg, err := openflow.ReadMessage(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for xid, ch := range c.pending {
+				close(ch)
+				delete(c.pending, xid)
+			}
+			c.mu.Unlock()
+			close(c.closed)
+			return
+		}
+		if msg.Type() == openflow.TypeHello {
+			continue // connection-opening pleasantry, not awaited
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[msg.XID()]
+		if ok {
+			delete(c.pending, msg.XID())
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- msg
+			continue
+		}
+		// Unsolicited messages (FLOW_REMOVED, PORT_STATUS, async PacketIn)
+		// go to the notification queue; the oldest is dropped when full.
+		for {
+			select {
+			case c.notify <- msg:
+			default:
+				select {
+				case <-c.notify:
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// Notifications returns the stream of unsolicited switch messages.
+func (c *Controller) Notifications() <-chan openflow.Message { return c.notify }
+
+// register allocates an xid and a 1-buffered reply channel for it.
+func (c *Controller) register() (uint32, chan openflow.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return 0, nil, ErrClosed
+	}
+	c.nextXID++
+	xid := c.nextXID
+	ch := make(chan openflow.Message, 1)
+	c.pending[xid] = ch
+	return xid, ch, nil
+}
+
+// unregister abandons a pending xid (used when no reply is expected after
+// all, e.g. a flow-mod that succeeded silently).
+func (c *Controller) unregister(xid uint32) {
+	c.mu.Lock()
+	delete(c.pending, xid)
+	c.mu.Unlock()
+}
+
+func (c *Controller) send(m openflow.Message) error {
+	return openflow.WriteMessage(c.conn, m)
+}
+
+// await blocks for the reply to xid on ch.
+func (c *Controller) await(ch chan openflow.Message) (openflow.Message, error) {
+	msg, ok := <-ch
+	if !ok {
+		return nil, ErrClosed
+	}
+	return msg, nil
+}
+
+func (c *Controller) handshake() error {
+	if err := c.send(&openflow.Hello{}); err != nil {
+		return err
+	}
+	xid, ch, err := c.register()
+	if err != nil {
+		return err
+	}
+	if err := c.send(&openflow.FeaturesRequest{Header: openflow.Header{Xid: xid}}); err != nil {
+		return err
+	}
+	msg, err := c.await(ch)
+	if err != nil {
+		return err
+	}
+	fr, ok := msg.(*openflow.FeaturesReply)
+	if !ok {
+		return fmt.Errorf("ofconn: handshake got %v, want FEATURES_REPLY", msg.Type())
+	}
+	c.features = fr
+	return nil
+}
+
+// Features returns the switch's features reply from the handshake.
+func (c *Controller) Features() *openflow.FeaturesReply { return c.features }
+
+// FlowMod sends the flow-mod followed by a barrier and waits for the
+// barrier reply, so the operation is confirmed complete. A switch-side
+// rejection surfaces as the *openflow.Error. The flow-mod's XID is
+// assigned by the controller.
+func (c *Controller) FlowMod(fm *openflow.FlowMod) error {
+	fmXID, errCh, err := c.register()
+	if err != nil {
+		return err
+	}
+	fm.SetXID(fmXID)
+	barXID, barCh, err := c.register()
+	if err != nil {
+		c.unregister(fmXID)
+		return err
+	}
+	if err := c.send(fm); err != nil {
+		return err
+	}
+	if err := c.send(&openflow.BarrierRequest{Header: openflow.Header{Xid: barXID}}); err != nil {
+		return err
+	}
+	if _, err := c.await(barCh); err != nil {
+		return err
+	}
+	// The agent loop writes any error before the barrier reply, so a
+	// non-blocking check is race free.
+	c.unregister(fmXID)
+	select {
+	case msg := <-errCh:
+		if oe, ok := msg.(*openflow.Error); ok {
+			if oe.IsTableFull() {
+				return switchsim.ErrTableFull
+			}
+			return oe
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// FlowMods sends a batch of flow-mods followed by a single barrier — the
+// batching shape real controllers (and the Tango scheduler) use, paying one
+// round trip per batch instead of per op. It returns the first switch-side
+// rejection, if any; later ops in the batch still execute (OpenFlow has no
+// transactional abort).
+func (c *Controller) FlowMods(fms []*openflow.FlowMod) error {
+	errChs := make([]chan openflow.Message, len(fms))
+	for i, fm := range fms {
+		xid, ch, err := c.register()
+		if err != nil {
+			return err
+		}
+		fm.SetXID(xid)
+		errChs[i] = ch
+		if err := c.send(fm); err != nil {
+			return err
+		}
+	}
+	barXID, barCh, err := c.register()
+	if err != nil {
+		return err
+	}
+	if err := c.send(&openflow.BarrierRequest{Header: openflow.Header{Xid: barXID}}); err != nil {
+		return err
+	}
+	if _, err := c.await(barCh); err != nil {
+		return err
+	}
+	var first error
+	for i, ch := range errChs {
+		c.unregister(fms[i].XID())
+		select {
+		case msg := <-ch:
+			if oe, ok := msg.(*openflow.Error); ok && first == nil {
+				if oe.IsTableFull() {
+					first = switchsim.ErrTableFull
+				} else {
+					first = oe
+				}
+			}
+		default:
+		}
+	}
+	return first
+}
+
+// SendProbe injects a probe frame via PACKET_OUT and measures the wall-time
+// until the reflected PACKET_IN returns. punted reports whether the switch
+// punted the frame (NO_MATCH) rather than forwarding it.
+func (c *Controller) SendProbe(data []byte, inPort uint16) (rtt time.Duration, punted bool, err error) {
+	xid, ch, err := c.register()
+	if err != nil {
+		return 0, false, err
+	}
+	out := &openflow.PacketOut{
+		Header:   openflow.Header{Xid: xid},
+		BufferID: 0xffffffff,
+		InPort:   inPort,
+		Data:     data,
+	}
+	start := time.Now()
+	if err := c.send(out); err != nil {
+		return 0, false, err
+	}
+	msg, err := c.await(ch)
+	if err != nil {
+		return 0, false, err
+	}
+	rtt = time.Since(start)
+	pin, ok := msg.(*openflow.PacketIn)
+	if !ok {
+		return 0, false, fmt.Errorf("ofconn: probe got %v, want PACKET_IN", msg.Type())
+	}
+	return rtt, pin.Reason == openflow.ReasonNoMatch, nil
+}
+
+// Echo measures a control-channel round trip.
+func (c *Controller) Echo() (time.Duration, error) {
+	xid, ch, err := c.register()
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := c.send(&openflow.EchoRequest{Header: openflow.Header{Xid: xid}, Data: []byte("tango")}); err != nil {
+		return 0, err
+	}
+	if _, err := c.await(ch); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// TableStats fetches the switch's table statistics.
+func (c *Controller) TableStats() ([]openflow.TableStats, error) {
+	xid, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	req := &openflow.StatsRequest{Header: openflow.Header{Xid: xid}, StatsType: openflow.StatsTypeTable}
+	if err := c.send(req); err != nil {
+		return nil, err
+	}
+	msg, err := c.await(ch)
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := msg.(*openflow.StatsReply)
+	if !ok {
+		return nil, fmt.Errorf("ofconn: got %v, want STATS_REPLY", msg.Type())
+	}
+	return sr.Tables, nil
+}
+
+// FlowStats fetches flow statistics for all rules.
+func (c *Controller) FlowStats() ([]openflow.FlowStats, error) {
+	xid, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	req := &openflow.StatsRequest{
+		Header:      openflow.Header{Xid: xid},
+		StatsType:   openflow.StatsTypeFlow,
+		FlowTableID: 0xff,
+		FlowOutPort: openflow.PortNone,
+	}
+	if err := c.send(req); err != nil {
+		return nil, err
+	}
+	msg, err := c.await(ch)
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := msg.(*openflow.StatsReply)
+	if !ok {
+		return nil, fmt.Errorf("ofconn: got %v, want STATS_REPLY", msg.Type())
+	}
+	return sr.Flows, nil
+}
+
+// Now returns the wall-clock time; with a TCP device, probing measures real
+// elapsed time.
+func (c *Controller) Now() time.Time { return time.Now() }
+
+// Close tears down the connection.
+func (c *Controller) Close() error { return c.conn.Close() }

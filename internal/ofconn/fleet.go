@@ -1,0 +1,116 @@
+package ofconn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tango/internal/core/infer"
+	"tango/internal/core/pattern"
+	"tango/internal/core/probe"
+)
+
+// Fleet manages a controller's OpenFlow connections to a set of switches
+// and probes each of them into a shared Tango score database — the
+// controller-side assembly of Figure 4: Probing Engine feeding the Score
+// Database feeding the Network Scheduler.
+type Fleet struct {
+	mu      sync.Mutex
+	members map[string]*Controller
+}
+
+// NewFleet returns an empty fleet.
+func NewFleet() *Fleet {
+	return &Fleet{members: map[string]*Controller{}}
+}
+
+// Connect dials a switch and adds it under the given name, replacing (and
+// closing) any previous member with that name.
+func (f *Fleet) Connect(name, addr string) error {
+	c, err := Dial(addr)
+	if err != nil {
+		return fmt.Errorf("ofconn: fleet connect %s: %w", name, err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if old, ok := f.members[name]; ok {
+		old.Close()
+	}
+	f.members[name] = c
+	return nil
+}
+
+// Controller returns the named member.
+func (f *Fleet) Controller(name string) (*Controller, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.members[name]
+	return c, ok
+}
+
+// Names returns member names, sorted.
+func (f *Fleet) Names() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.members))
+	for n := range f.members {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Engines returns one probing engine per member, keyed by name — the map
+// the scheduler's EngineExecutor consumes.
+func (f *Fleet) Engines() map[string]*probe.Engine {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]*probe.Engine, len(f.members))
+	for n, c := range f.members {
+		out[n] = probe.NewEngine(c)
+	}
+	return out
+}
+
+// ProbeAll fits a control-channel score card for every member and stores
+// them in db under the member names. Members are probed concurrently —
+// each probe only loads its own switch.
+func (f *Fleet) ProbeAll(db *pattern.DB, opts infer.CostOptions) error {
+	f.mu.Lock()
+	members := make(map[string]*Controller, len(f.members))
+	for n, c := range f.members {
+		members[n] = c
+	}
+	f.mu.Unlock()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(members))
+	for name, c := range members {
+		wg.Add(1)
+		go func(name string, c *Controller) {
+			defer wg.Done()
+			card, err := infer.MeasureCosts(probe.NewEngine(c), name, opts)
+			if err != nil {
+				errs <- fmt.Errorf("ofconn: probing %s: %w", name, err)
+				return
+			}
+			db.PutScore(card)
+		}(name, c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}
+
+// Close tears down every connection.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, c := range f.members {
+		c.Close()
+	}
+	f.members = map[string]*Controller{}
+}

@@ -1,0 +1,58 @@
+// Package ofconn carries the OpenFlow protocol over TCP: a server loop that
+// exposes an emulated switch on a listening socket, and a controller client
+// that performs the handshake and offers the synchronous operations Tango's
+// probing engine needs (flow-mod with barrier confirmation, probe packets
+// with RTT measurement, echo, statistics).
+//
+// The in-process probing path uses virtual time and is what experiments and
+// benchmarks run on; this package exists so the same inference code can be
+// pointed at a real socket (cmd/switchd + examples/inference), proving the
+// protocol implementation end to end.
+package ofconn
+
+import (
+	"errors"
+	"io"
+	"log"
+	"net"
+
+	"tango/internal/openflow"
+	"tango/internal/switchsim"
+)
+
+// Serve accepts controller connections on ln and services each with sw.
+// It returns when the listener fails (e.g. is closed). Each connection is
+// handled on its own goroutine; the switch itself serialises operations.
+func Serve(ln net.Listener, sw *switchsim.Switch) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			if err := handleConn(conn, sw); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				log.Printf("ofconn: connection from %v ended: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// handleConn runs the per-connection agent loop: an initial HELLO, then a
+// strict request→replies cycle driven by the switch's Handle method.
+func handleConn(conn net.Conn, sw *switchsim.Switch) error {
+	if err := openflow.WriteMessage(conn, &openflow.Hello{}); err != nil {
+		return err
+	}
+	for {
+		msg, err := openflow.ReadMessage(conn)
+		if err != nil {
+			return err
+		}
+		for _, reply := range sw.Handle(msg) {
+			if err := openflow.WriteMessage(conn, reply); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package openflow implements the subset of the OpenFlow 1.0 wire protocol
+// that Tango's controller and the emulated switches speak: the handshake
+// (HELLO, FEATURES), flow programming (FLOW_MOD, BARRIER), the data-plane
+// escape hatch (PACKET_IN / PACKET_OUT), statistics, and errors. Messages
+// marshal to and from the exact byte layout of the OpenFlow 1.0.0
+// specification so the emulated switch is indistinguishable on the wire
+// from a hardware device speaking the same subset.
+package openflow
+
+// Version is the OpenFlow protocol version implemented by this package.
+const Version = 0x01
+
+// MsgType is the OpenFlow message type carried in every header.
+type MsgType uint8
+
+// OpenFlow 1.0 message types (ofp_type).
+const (
+	TypeHello           MsgType = 0
+	TypeError           MsgType = 1
+	TypeEchoRequest     MsgType = 2
+	TypeEchoReply       MsgType = 3
+	TypeVendor          MsgType = 4
+	TypeFeaturesRequest MsgType = 5
+	TypeFeaturesReply   MsgType = 6
+	TypeGetConfigReq    MsgType = 7
+	TypeGetConfigReply  MsgType = 8
+	TypeSetConfig       MsgType = 9
+	TypePacketIn        MsgType = 10
+	TypeFlowRemoved     MsgType = 11
+	TypePortStatus      MsgType = 12
+	TypePacketOut       MsgType = 13
+	TypeFlowMod         MsgType = 14
+	TypePortMod         MsgType = 15
+	TypeStatsRequest    MsgType = 16
+	TypeStatsReply      MsgType = 17
+	TypeBarrierRequest  MsgType = 18
+	TypeBarrierReply    MsgType = 19
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		TypeHello: "HELLO", TypeError: "ERROR",
+		TypeEchoRequest: "ECHO_REQUEST", TypeEchoReply: "ECHO_REPLY",
+		TypeVendor: "VENDOR", TypeFeaturesRequest: "FEATURES_REQUEST",
+		TypeFeaturesReply: "FEATURES_REPLY", TypeGetConfigReq: "GET_CONFIG_REQUEST",
+		TypeGetConfigReply: "GET_CONFIG_REPLY", TypeSetConfig: "SET_CONFIG",
+		TypePacketIn: "PACKET_IN", TypeFlowRemoved: "FLOW_REMOVED",
+		TypePortStatus: "PORT_STATUS", TypePacketOut: "PACKET_OUT",
+		TypeFlowMod: "FLOW_MOD", TypePortMod: "PORT_MOD",
+		TypeStatsRequest: "STATS_REQUEST", TypeStatsReply: "STATS_REPLY",
+		TypeBarrierRequest: "BARRIER_REQUEST", TypeBarrierReply: "BARRIER_REPLY",
+	}
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return "UNKNOWN"
+}
+
+// FlowModCommand selects the FLOW_MOD operation.
+type FlowModCommand uint16
+
+// Flow mod commands (ofp_flow_mod_command).
+const (
+	FlowAdd FlowModCommand = iota
+	FlowModify
+	FlowModifyStrict
+	FlowDelete
+	FlowDeleteStrict
+)
+
+// String implements fmt.Stringer.
+func (c FlowModCommand) String() string {
+	switch c {
+	case FlowAdd:
+		return "ADD"
+	case FlowModify:
+		return "MODIFY"
+	case FlowModifyStrict:
+		return "MODIFY_STRICT"
+	case FlowDelete:
+		return "DELETE"
+	case FlowDeleteStrict:
+		return "DELETE_STRICT"
+	}
+	return "UNKNOWN"
+}
+
+// Port numbers with special meaning (ofp_port).
+const (
+	PortMax        uint16 = 0xff00
+	PortController uint16 = 0xfffd
+	PortLocal      uint16 = 0xfffe
+	PortNone       uint16 = 0xffff
+)
+
+// PacketIn reasons (ofp_packet_in_reason).
+const (
+	ReasonNoMatch uint8 = 0
+	ReasonAction  uint8 = 1
+)
+
+// Error types (ofp_error_type).
+const (
+	ErrTypeHelloFailed   uint16 = 0
+	ErrTypeBadRequest    uint16 = 1
+	ErrTypeBadAction     uint16 = 2
+	ErrTypeFlowModFailed uint16 = 3
+	ErrTypePortModFailed uint16 = 4
+)
+
+// Flow-mod failure codes (ofp_flow_mod_failed_code).
+const (
+	ErrCodeAllTablesFull    uint16 = 0
+	ErrCodeOverlap          uint16 = 1
+	ErrCodePermissionsEPERM uint16 = 2
+	ErrCodeBadEmergTimeout  uint16 = 3
+	ErrCodeBadCommand       uint16 = 4
+	ErrCodeUnsupported      uint16 = 5
+)
+
+// Stats types (ofp_stats_types).
+const (
+	StatsTypeDesc      uint16 = 0
+	StatsTypeFlow      uint16 = 1
+	StatsTypeAggregate uint16 = 2
+	StatsTypeTable     uint16 = 3
+	StatsTypePort      uint16 = 4
+)
+
+// Action types (ofp_action_type).
+const (
+	ActionTypeOutput uint16 = 0
+)
+
+// Wildcard bits of ofp_match.wildcards (OFPFW_*).
+const (
+	wcInPort     uint32 = 1 << 0
+	wcDlVLAN     uint32 = 1 << 1
+	wcDlSrc      uint32 = 1 << 2
+	wcDlDst      uint32 = 1 << 3
+	wcDlType     uint32 = 1 << 4
+	wcNwProto    uint32 = 1 << 5
+	wcTpSrc      uint32 = 1 << 6
+	wcTpDst      uint32 = 1 << 7
+	wcNwSrcShift        = 8
+	wcNwSrcMask  uint32 = 0x3f << wcNwSrcShift
+	wcNwDstShift        = 14
+	wcNwDstMask  uint32 = 0x3f << wcNwDstShift
+	wcDlVLANPCP  uint32 = 1 << 20
+	wcNwTOS      uint32 = 1 << 21
+	wcAll        uint32 = 0x3fffff
+)

@@ -1,0 +1,49 @@
+package openflow
+
+import (
+	"bytes"
+	"testing"
+
+	"tango/internal/flowtable"
+)
+
+// FuzzDecode drives the message decoder with arbitrary bytes. The decoder
+// must never panic, and any message it accepts must re-encode to bytes the
+// decoder accepts again with an identical second decode (decode∘encode is
+// a projection).
+func FuzzDecode(f *testing.F) {
+	seeds := []Message{
+		&Hello{Header{1}},
+		&EchoRequest{Header{2}, []byte("x")},
+		&FeaturesReply{Header: Header{3}, DatapathID: 9, NTables: 2},
+		&FlowMod{Header: Header{4}, Match: flowtable.ExactProbeMatch(5), Command: FlowAdd, Priority: 7, Actions: flowtable.Output(1)},
+		&PacketIn{Header: Header{5}, Reason: ReasonNoMatch, Data: []byte{1, 2, 3}},
+		&PacketOut{Header: Header{6}, Actions: flowtable.Output(2), Data: []byte{9}},
+		&Error{Header{7}, ErrTypeFlowModFailed, ErrCodeAllTablesFull, nil},
+		&StatsRequest{Header: Header{8}, StatsType: StatsTypeFlow, FlowMatch: flowtable.L3ProbeMatch(1)},
+		&StatsReply{Header: Header{9}, StatsType: StatsTypeTable, Tables: []TableStats{{TableID: 1, Name: "t"}}},
+		&FlowRemoved{Header: Header{10}, Match: flowtable.L2ProbeMatch(2), Reason: RemovedDelete},
+		&BarrierReply{Header{11}},
+	}
+	for _, m := range seeds {
+		f.Add(m.Marshal(nil))
+	}
+	f.Add([]byte{Version, 99, 0, 8, 0, 0, 0, 0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := msg.Marshal(nil)
+		msg2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v (first decode %T)", err, msg)
+		}
+		re2 := msg2.Marshal(nil)
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("encode not idempotent:\n first %x\nsecond %x", re, re2)
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Frame is a fully parsed probe frame: the decoded header fields of every
+// layer present plus the application payload. It is the unit the emulated
+// switch pipeline matches against its flow tables.
+type Frame struct {
+	Eth     Ethernet
+	HasIPv4 bool
+	IP      IPv4
+	HasTCP  bool
+	TCP     TCP
+	HasUDP  bool
+	UDP     UDP
+	Payload []byte
+}
+
+// Decode parses an Ethernet frame and whatever known layers follow it.
+// Unknown ether types or IP protocols leave the remaining bytes in Payload —
+// the pipeline can still L2-match such frames, mirroring real switches.
+func Decode(data []byte) (*Frame, error) {
+	var f Frame
+	rest, err := f.Eth.DecodeFromBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	f.Payload = rest
+	if f.Eth.EtherType != EtherTypeIPv4 {
+		return &f, nil
+	}
+	rest, err = f.IP.DecodeFromBytes(rest)
+	if err != nil {
+		return nil, fmt.Errorf("decoding ipv4: %w", err)
+	}
+	f.HasIPv4 = true
+	f.Payload = rest
+	switch f.IP.Protocol {
+	case IPProtocolTCP:
+		rest, err = f.TCP.DecodeFromBytes(rest)
+		if err != nil {
+			return nil, fmt.Errorf("decoding tcp: %w", err)
+		}
+		f.HasTCP = true
+		f.Payload = rest
+	case IPProtocolUDP:
+		rest, err = f.UDP.DecodeFromBytes(rest)
+		if err != nil {
+			return nil, fmt.Errorf("decoding udp: %w", err)
+		}
+		f.HasUDP = true
+		f.Payload = rest
+	}
+	return &f, nil
+}
+
+// Serialize encodes the frame back to wire bytes. Length and checksum fields
+// are recomputed from the layer structure.
+func (f *Frame) Serialize() ([]byte, error) {
+	b := make([]byte, 0, 64+len(f.Payload))
+	b = f.Eth.AppendTo(b)
+	if !f.HasIPv4 {
+		return append(b, f.Payload...), nil
+	}
+	l4 := make([]byte, 0, 20+len(f.Payload))
+	switch {
+	case f.HasTCP:
+		l4 = f.TCP.AppendTo(l4)
+	case f.HasUDP:
+		l4 = f.UDP.AppendTo(l4, len(f.Payload))
+	}
+	l4 = append(l4, f.Payload...)
+	var err error
+	b, err = f.IP.AppendTo(b, len(l4))
+	if err != nil {
+		return nil, err
+	}
+	return append(b, l4...), nil
+}
+
+// FiveTuple is a canonical flow identity used as a map key by the emulated
+// kernel microflow cache (exact-match table).
+type FiveTuple struct {
+	Src, Dst         netip.Addr
+	Proto            IPProtocol
+	SrcPort, DstPort uint16
+}
+
+// FiveTuple extracts the flow identity of an IPv4 frame. The boolean is
+// false for non-IP frames, which exact-match caches ignore.
+func (f *Frame) FiveTuple() (FiveTuple, bool) {
+	if !f.HasIPv4 {
+		return FiveTuple{}, false
+	}
+	ft := FiveTuple{Src: f.IP.Src, Dst: f.IP.Dst, Proto: f.IP.Protocol}
+	switch {
+	case f.HasTCP:
+		ft.SrcPort, ft.DstPort = f.TCP.SrcPort, f.TCP.DstPort
+	case f.HasUDP:
+		ft.SrcPort, ft.DstPort = f.UDP.SrcPort, f.UDP.DstPort
+	}
+	return ft, true
+}
+
+// ProbeSpec describes a synthetic flow for which probe frames are minted.
+// The probing engine enumerates flow IDs; each ID maps deterministically to
+// distinct L2+L3+L4 headers so that generated rules and generated traffic
+// agree (a Tango pattern is "a sequence of OpenFlow commands and a
+// corresponding data traffic pattern").
+type ProbeSpec struct {
+	FlowID  uint32
+	Proto   IPProtocol // TCP unless set otherwise
+	Payload []byte
+}
+
+// probeBase* define the address blocks probe traffic is minted from. The
+// 10.83.0.0/16 block is private and unlikely to collide with pre-installed
+// rules on a device under test.
+var (
+	probeBaseSrc = netip.AddrFrom4([4]byte{10, 83, 0, 0})
+	probeBaseDst = netip.AddrFrom4([4]byte{10, 84, 0, 0})
+)
+
+// ProbeSrcIP returns the source address assigned to flow id.
+func ProbeSrcIP(id uint32) netip.Addr {
+	b := probeBaseSrc.As4()
+	b[2] = byte(id >> 8)
+	b[3] = byte(id)
+	b[1] += byte(id >> 16) // spill into the second octet past 65536 flows
+	return netip.AddrFrom4(b)
+}
+
+// ProbeDstIP returns the destination address assigned to flow id.
+func ProbeDstIP(id uint32) netip.Addr {
+	b := probeBaseDst.As4()
+	b[2] = byte(id >> 8)
+	b[3] = byte(id)
+	b[1] += byte(id >> 16)
+	return netip.AddrFrom4(b)
+}
+
+// BuildProbe mints the wire bytes of the probe frame for spec. Frames for
+// the same FlowID are always byte-identical except for the payload.
+func BuildProbe(spec ProbeSpec) ([]byte, error) {
+	proto := spec.Proto
+	if proto == 0 {
+		proto = IPProtocolTCP
+	}
+	f := Frame{
+		Eth: Ethernet{
+			Dst:       MACFromUint64(0x0200_0000_0000 | uint64(spec.FlowID)),
+			Src:       MACFromUint64(0x0200_0100_0000 | uint64(spec.FlowID)),
+			EtherType: EtherTypeIPv4,
+		},
+		HasIPv4: true,
+		IP: IPv4{
+			Src:      ProbeSrcIP(spec.FlowID),
+			Dst:      ProbeDstIP(spec.FlowID),
+			Protocol: proto,
+			TTL:      64,
+			ID:       uint16(spec.FlowID),
+		},
+		Payload: spec.Payload,
+	}
+	switch proto {
+	case IPProtocolTCP:
+		f.HasTCP = true
+		f.TCP = TCP{SrcPort: 1024 + uint16(spec.FlowID%50000), DstPort: 80, Window: 65535}
+	case IPProtocolUDP:
+		f.HasUDP = true
+		f.UDP = UDP{SrcPort: 1024 + uint16(spec.FlowID%50000), DstPort: 53}
+	}
+	return f.Serialize()
+}

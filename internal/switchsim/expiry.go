@@ -1,0 +1,124 @@
+package switchsim
+
+import (
+	"time"
+
+	"tango/internal/flowtable"
+	"tango/internal/openflow"
+)
+
+// expiry.go implements idle and hard flow timeouts with FLOW_REMOVED
+// notifications. Expiry is swept lazily: the switch tracks the earliest
+// possible deadline across rules that carry timeouts and only walks the
+// rule set when the virtual clock passes it, so workloads without timeouts
+// (all probing patterns) pay nothing.
+
+// scheduleExpiry records that a rule with timeouts exists, updating the
+// next sweep deadline. Callers hold s.mu.
+func (s *Switch) scheduleExpiry(r *flowtable.Rule, now time.Time) {
+	d := ruleDeadline(r, now)
+	if d.IsZero() {
+		return
+	}
+	if s.nextExpiry.IsZero() || d.Before(s.nextExpiry) {
+		s.nextExpiry = d
+	}
+}
+
+// ruleDeadline returns the earliest instant at which r could expire, or the
+// zero time when it never does.
+func ruleDeadline(r *flowtable.Rule, now time.Time) time.Time {
+	var d time.Time
+	if r.HardTimeout > 0 {
+		d = r.InstalledAt.Add(time.Duration(r.HardTimeout) * time.Second)
+	}
+	if r.IdleTimeout > 0 {
+		idle := r.LastUsedAt.Add(time.Duration(r.IdleTimeout) * time.Second)
+		if d.IsZero() || idle.Before(d) {
+			d = idle
+		}
+	}
+	return d
+}
+
+// expireLocked removes every rule whose timeout has passed as of now,
+// queueing FLOW_REMOVED notifications for rules that asked for them.
+// Callers hold s.mu.
+func (s *Switch) expireLocked(now time.Time) {
+	if s.nextExpiry.IsZero() || now.Before(s.nextExpiry) {
+		return
+	}
+	s.nextExpiry = time.Time{}
+	var victims []*flowtable.Rule
+	var reasons []uint8
+	for r := range s.entries {
+		if r.HardTimeout == 0 && r.IdleTimeout == 0 {
+			continue
+		}
+		switch {
+		case r.HardTimeout > 0 && !now.Before(r.InstalledAt.Add(time.Duration(r.HardTimeout)*time.Second)):
+			victims = append(victims, r)
+			reasons = append(reasons, openflow.RemovedHardTimeout)
+		case r.IdleTimeout > 0 && !now.Before(r.LastUsedAt.Add(time.Duration(r.IdleTimeout)*time.Second)):
+			victims = append(victims, r)
+			reasons = append(reasons, openflow.RemovedIdleTimeout)
+		default:
+			// Still alive: fold its deadline into the next sweep.
+			if d := ruleDeadline(r, now); !d.IsZero() &&
+				(s.nextExpiry.IsZero() || d.Before(s.nextExpiry)) {
+				s.nextExpiry = d
+			}
+		}
+	}
+	for i, r := range victims {
+		s.noteRemoved(r, reasons[i], now)
+		s.removeRule(r)
+		s.stats.Expirations++
+	}
+}
+
+// noteRemoved queues a FLOW_REMOVED notification if the rule asked for one.
+func (s *Switch) noteRemoved(r *flowtable.Rule, reason uint8, now time.Time) {
+	if !r.SendFlowRem {
+		return
+	}
+	dur := now.Sub(r.InstalledAt)
+	if dur < 0 {
+		dur = 0
+	}
+	s.removedQueue = append(s.removedQueue, &openflow.FlowRemoved{
+		Match:        r.Match,
+		Cookie:       r.Cookie,
+		Priority:     r.Priority,
+		Reason:       reason,
+		DurationSec:  uint32(dur / time.Second),
+		DurationNsec: uint32(dur % time.Second),
+		IdleTimeout:  r.IdleTimeout,
+		PacketCount:  r.Packets,
+		ByteCount:    r.Bytes,
+	})
+}
+
+// TakeFlowRemoved drains the queued FLOW_REMOVED notifications. The TCP
+// agent loop flushes them ahead of the next reply; in-process controllers
+// poll after advancing time.
+func (s *Switch) TakeFlowRemoved() []*openflow.FlowRemoved {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.removedQueue
+	s.removedQueue = nil
+	return out
+}
+
+// ExpireNow forces an expiry sweep at the current clock reading — useful
+// after advancing a virtual clock past rule deadlines.
+func (s *Switch) ExpireNow() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.nextExpiry.IsZero() {
+		now := s.clock.Now()
+		if !now.Before(s.nextExpiry) {
+			s.expireLocked(now)
+		}
+	}
+}

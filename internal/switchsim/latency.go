@@ -1,0 +1,77 @@
+package switchsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// LatencyDist is a truncated-normal latency distribution. Sample never
+// returns less than 10% of the mean, which keeps pathological RNG draws from
+// producing negative or implausibly small delays.
+type LatencyDist struct {
+	Mean   time.Duration
+	StdDev time.Duration
+}
+
+// Sample draws one latency value using rng.
+func (d LatencyDist) Sample(rng *rand.Rand) time.Duration {
+	if d.Mean == 0 {
+		return 0
+	}
+	v := float64(d.Mean) + rng.NormFloat64()*float64(d.StdDev)
+	if min := float64(d.Mean) * 0.1; v < min {
+		v = min
+	}
+	return time.Duration(v)
+}
+
+// ms builds a duration from milliseconds, keeping profile tables readable.
+func ms(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+
+// us builds a duration from microseconds.
+func us(v float64) time.Duration { return time.Duration(v * float64(time.Microsecond)) }
+
+// ControlCosts calibrates the control-channel cost model of a switch.
+// The total cost charged for one flow-mod is:
+//
+//	add: AddBase + AddPriorityDelta (if the priority differs from the
+//	     previous add's) + ShiftUnit × (#entries with strictly higher
+//	     priority already in the TCAM)
+//	mod: ModBase
+//	del: DelBase
+//
+// The shift term models a bottom-packed TCAM: a new entry must sit below
+// every higher-priority entry, so installing in descending priority order
+// displaces the entire existing block each time while ascending order
+// appends for free — reproducing the 12–46× spreads of Figure 3(c).
+type ControlCosts struct {
+	AddBase          time.Duration
+	AddPriorityDelta time.Duration
+	ShiftUnit        time.Duration
+	ModBase          time.Duration
+	DelBase          time.Duration
+	// TypeSwitchDelta is charged whenever a flow-mod's operation class
+	// (add / modify / delete) differs from the previous one's: agents
+	// batch homogeneous operations and flush the pipeline on a class
+	// change. This is the "batching effects that switches may have" the
+	// paper exploits by grouping request types, and the entire source of
+	// Tango's gain on priority-insensitive software switches (Figure 12).
+	TypeSwitchDelta time.Duration
+	// JitterFrac is the relative standard deviation applied to every op.
+	JitterFrac float64
+}
+
+// opCost draws the randomized cost of an operation with deterministic mean m.
+func (c ControlCosts) opCost(rng *rand.Rand, m time.Duration) time.Duration {
+	if m == 0 {
+		return 0
+	}
+	if c.JitterFrac == 0 {
+		return m
+	}
+	v := float64(m) * (1 + rng.NormFloat64()*c.JitterFrac)
+	if min := float64(m) * 0.2; v < min {
+		v = min
+	}
+	return time.Duration(v)
+}

@@ -1,0 +1,158 @@
+// Package switchsim emulates OpenFlow switches with diverse implementation
+// properties: multi-level flow tables (TCAM, kernel, user space), vendor
+// cache-replacement policies, TCAM width modes, and calibrated control- and
+// data-plane latency models. The emulator reproduces the observable
+// behaviours §3 of the Tango paper measured on three proprietary hardware
+// switches and Open vSwitch — latency tiers, table-size limits, and
+// priority-dependent rule-installation costs — so that Tango's probing and
+// inference engines can be exercised without the authors' testbed.
+package switchsim
+
+import "fmt"
+
+// Attribute is one of the per-flow values a cache policy may consult
+// (the ATTRIB set of the paper's switch model, §5.1).
+type Attribute int
+
+// Cache-policy attributes.
+const (
+	// AttrInsertion is the flow's installation order (time since insertion).
+	AttrInsertion Attribute = iota
+	// AttrUseTime is the order of the flow's most recent data-plane hit.
+	AttrUseTime
+	// AttrTraffic is the flow's matched-packet count.
+	AttrTraffic
+	// AttrPriority is the flow's OpenFlow rule priority.
+	AttrPriority
+)
+
+// String implements fmt.Stringer.
+func (a Attribute) String() string {
+	switch a {
+	case AttrInsertion:
+		return "insertion"
+	case AttrUseTime:
+		return "use_time"
+	case AttrTraffic:
+		return "traffic"
+	case AttrPriority:
+		return "priority"
+	}
+	return fmt.Sprintf("attr(%d)", int(a))
+}
+
+// Attributes lists every policy attribute, in declaration order.
+var Attributes = []Attribute{AttrInsertion, AttrUseTime, AttrTraffic, AttrPriority}
+
+// SortKey is one component of a lexicographic cache policy: an attribute
+// plus a direction (the MONOTONE assumption — the comparison is monotone,
+// either increasing or decreasing).
+type SortKey struct {
+	Attr Attribute
+	// HighIsBetter reports whether larger attribute values make a flow more
+	// likely to be *kept* in the cache. LRU keeps recently used flows
+	// (high use time), so {AttrUseTime, true}; FIFO keeps the oldest flows,
+	// so {AttrInsertion, false}.
+	HighIsBetter bool
+}
+
+// String implements fmt.Stringer.
+func (k SortKey) String() string {
+	dir := "low"
+	if k.HighIsBetter {
+		dir = "high"
+	}
+	return fmt.Sprintf("%s(keep-%s)", k.Attr, dir)
+}
+
+// Policy is a lexicographic composite of sort keys (the LEX assumption):
+// the cache retains the flows that order best under Keys[0], breaking ties
+// with Keys[1], and so on. The zero value (no keys) is invalid for
+// policy-managed switches.
+type Policy struct {
+	Keys []SortKey
+}
+
+// Named building-block policies.
+var (
+	// PolicyFIFO keeps the oldest-installed flows in the cache (Switch #1's
+	// software table works as a FIFO buffer for TCAM).
+	PolicyFIFO = Policy{Keys: []SortKey{{AttrInsertion, false}}}
+	// PolicyLRU keeps the most recently used flows.
+	PolicyLRU = Policy{Keys: []SortKey{{AttrUseTime, true}}}
+	// PolicyLFU keeps the most heavily used flows, breaking ties by recency.
+	PolicyLFU = Policy{Keys: []SortKey{{AttrTraffic, true}, {AttrUseTime, true}}}
+	// PolicyPriority keeps the highest-priority flows, breaking ties by
+	// traffic and then recency.
+	PolicyPriority = Policy{Keys: []SortKey{{AttrPriority, true}, {AttrTraffic, true}, {AttrUseTime, true}}}
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if len(p.Keys) == 0 {
+		return "none"
+	}
+	s := p.Keys[0].String()
+	for _, k := range p.Keys[1:] {
+		s += "," + k.String()
+	}
+	return s
+}
+
+// Equal reports whether two policies have identical key sequences.
+func (p Policy) Equal(o Policy) bool {
+	if len(p.Keys) != len(o.Keys) {
+		return false
+	}
+	for i := range p.Keys {
+		if p.Keys[i] != o.Keys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// attrValue reads attribute a of entry e as an integer for comparison.
+func attrValue(e *entry, a Attribute) uint64 {
+	switch a {
+	case AttrInsertion:
+		return e.insertSeq
+	case AttrUseTime:
+		return e.useSeq
+	case AttrTraffic:
+		return e.traffic
+	case AttrPriority:
+		return uint64(e.rule.Priority)
+	}
+	return 0
+}
+
+// Better reports whether entry a should be preferred (kept in cache) over
+// entry b under the policy. Entries that compare equal on every key fall
+// back to insertion order (older wins), which keeps the ordering total as
+// the paper's model requires.
+func (p Policy) Better(a, b *entry) bool {
+	for _, k := range p.Keys {
+		va, vb := attrValue(a, k.Attr), attrValue(b, k.Attr)
+		if va == vb {
+			continue
+		}
+		if k.HighIsBetter {
+			return va > vb
+		}
+		return va < vb
+	}
+	return a.insertSeq < b.insertSeq
+}
+
+// Worst returns the entry that orders last under the policy — the eviction
+// victim — among the given entries. It returns nil for an empty slice.
+func (p Policy) Worst(entries []*entry) *entry {
+	var worst *entry
+	for _, e := range entries {
+		if worst == nil || p.Better(worst, e) {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,802 @@
+package switchsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tango/internal/flowtable"
+	"tango/internal/openflow"
+	"tango/internal/packet"
+	"tango/internal/simclock"
+)
+
+// PathKind identifies the forwarding tier a frame traversed.
+type PathKind int
+
+// Forwarding tiers, ordered fastest first.
+const (
+	// PathFast is TCAM / kernel fast-path forwarding.
+	PathFast PathKind = iota
+	// PathMid is the second TCAM bank of switches whose fast path splits
+	// into two latency tiers (Figure 5).
+	PathMid
+	// PathSlow is software (user-space) forwarding.
+	PathSlow
+	// PathControl means the frame was punted to the controller.
+	PathControl
+)
+
+// String implements fmt.Stringer.
+func (p PathKind) String() string {
+	switch p {
+	case PathFast:
+		return "fast"
+	case PathMid:
+		return "mid"
+	case PathSlow:
+		return "slow"
+	default:
+		return "control"
+	}
+}
+
+// ErrTableFull is returned when a flow-mod cannot be installed anywhere.
+// It corresponds to the OFPET_FLOW_MOD_FAILED / OFPFMFC_ALL_TABLES_FULL
+// error on the wire.
+var ErrTableFull = errors.New("switchsim: all tables full")
+
+// ErrNotFound is returned for modifications/deletions of absent rules.
+var ErrNotFound = errors.New("switchsim: no such rule")
+
+// entry is the emulator's bookkeeping for one installed rule. Attribute
+// sequence numbers are global and survive moves between tables, unlike the
+// per-table stamps flowtable keeps.
+type entry struct {
+	rule      *flowtable.Rule
+	insertSeq uint64
+	useSeq    uint64
+	traffic   uint64
+	inTCAM    bool
+}
+
+// kernelEntry is one exact-match microflow cache entry (OVS kernel table).
+type kernelEntry struct {
+	owner  *entry
+	useSeq uint64
+}
+
+// Result reports the outcome of injecting one data-plane frame.
+type Result struct {
+	// Path is the tier that forwarded (or punted) the frame.
+	Path PathKind
+	// RTT is the simulated round-trip time observed by the prober.
+	RTT time.Duration
+	// OutPort is the forwarding destination for PathFast/Mid/Slow when the
+	// matched action was an output.
+	OutPort uint16
+	// Rule is the matched rule, nil on a total miss.
+	Rule *flowtable.Rule
+}
+
+// Stats aggregates observable switch counters.
+type Stats struct {
+	FlowMods    uint64
+	PacketsSeen uint64
+	FastHits    uint64
+	MidHits     uint64
+	SlowHits    uint64
+	ControlMiss uint64
+	Evictions   uint64
+	Promotions  uint64
+	Expirations uint64
+}
+
+// Switch is one emulated OpenFlow switch. All methods are safe for
+// concurrent use; internally a single mutex serialises operations, which
+// also matches the single-threaded agent loop of the modelled devices.
+type Switch struct {
+	mu      sync.Mutex
+	profile Profile
+	clock   simclock.Clock
+	rng     *rand.Rand
+
+	tcam     *flowtable.TCAM  // nil for ManageMicroflow
+	software *flowtable.Table // nil for ManageTCAMOnly
+	kernel   map[packet.FiveTuple]*kernelEntry
+
+	entries map[*flowtable.Rule]*entry
+	events  uint64
+
+	// defaultRule is the pre-installed table-miss punt rule, when present.
+	// Although it occupies a TCAM slot, it is logically the last resort of
+	// the whole pipeline: a frame matching only the default rule must still
+	// consult the software tables before being punted.
+	defaultRule *flowtable.Rule
+
+	lastAddPriority uint16
+	haveLastAdd     bool
+	lastOpClass     openflow.FlowModCommand
+	haveLastOp      bool
+
+	// nextExpiry is the earliest instant any rule with a timeout could
+	// expire; zero when no such rule exists. removedQueue holds pending
+	// FLOW_REMOVED notifications, portQueue pending PORT_STATUS ones.
+	nextExpiry   time.Time
+	removedQueue []*openflow.FlowRemoved
+	portQueue    []*openflow.PortStatus
+	portsDown    map[uint16]bool
+
+	// config is the OFPT_SET_CONFIG state (miss_send_len etc.).
+	config openflow.SwitchConfig
+
+	stats Stats
+}
+
+// Option configures a Switch.
+type Option func(*Switch)
+
+// WithClock substitutes the clock (tests and the TCP daemon use this; the
+// default is a fresh virtual clock).
+func WithClock(c simclock.Clock) Option { return func(s *Switch) { s.clock = c } }
+
+// WithSeed fixes the RNG seed for reproducible latency draws.
+func WithSeed(seed int64) Option {
+	return func(s *Switch) { s.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithDefaultRoute pre-installs the priority-0 punt-to-controller rule that
+// hardware switches install when they connect (it is why Figure 2(b) shows
+// 2047 rather than 2048 fast-path flows).
+func WithDefaultRoute() Option {
+	return func(s *Switch) { s.installDefaultRoute() }
+}
+
+// New builds a switch from a profile.
+func New(p Profile, opts ...Option) *Switch {
+	s := &Switch{
+		profile: p,
+		clock:   simclock.NewVirtual(),
+		rng:     rand.New(rand.NewSource(42)),
+		entries: make(map[*flowtable.Rule]*entry),
+	}
+	switch p.Kind {
+	case ManageTCAMOnly:
+		s.tcam = flowtable.NewTCAM(p.TCAM)
+	case ManagePolicyCache:
+		s.tcam = flowtable.NewTCAM(p.TCAM)
+		s.software = &flowtable.Table{Capacity: p.softwareCap()}
+	case ManageMicroflow:
+		s.software = &flowtable.Table{Capacity: p.softwareCap()}
+		s.kernel = make(map[packet.FiveTuple]*kernelEntry)
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+func (p Profile) softwareCap() int {
+	if p.SoftwareCapacity > 0 {
+		return p.SoftwareCapacity
+	}
+	return defaultSoftwareCapacity
+}
+
+func (s *Switch) installDefaultRoute() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := &flowtable.Rule{
+		Priority: 0,
+		Actions:  []flowtable.Action{{Type: flowtable.ActionController}},
+	}
+	e := &entry{rule: r, insertSeq: s.nextEvent()}
+	if s.tcam != nil {
+		if _, err := s.tcam.Insert(r, s.clock.Now()); err == nil {
+			e.inTCAM = true
+		}
+	} else if s.software != nil {
+		_, _ = s.software.Insert(r, s.clock.Now())
+	}
+	s.entries[r] = e
+	s.defaultRule = r
+}
+
+// Profile returns the switch's profile.
+func (s *Switch) Profile() Profile { return s.profile }
+
+// Clock returns the switch's clock.
+func (s *Switch) Clock() simclock.Clock { return s.clock }
+
+// Now returns the current simulated instant.
+func (s *Switch) Now() time.Time { return s.clock.Now() }
+
+// Stats returns a snapshot of the switch counters.
+func (s *Switch) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Switch) nextEvent() uint64 {
+	s.events++
+	return s.events
+}
+
+// RuleCount returns (tcam, kernel, software) rule counts.
+func (s *Switch) RuleCount() (tcam, kernel, software int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tcam != nil {
+		tcam = s.tcam.Len()
+	}
+	if s.software != nil {
+		software = s.software.Len()
+	}
+	return tcam, len(s.kernel), software
+}
+
+// FlowMod applies one flow-table operation, advancing the clock by the
+// modelled control-channel cost. Errors mirror the OpenFlow errors a real
+// switch would return.
+func (s *Switch) FlowMod(fm *openflow.FlowMod) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.FlowMods++
+	s.expireLocked(s.clock.Now())
+	// Operation-class change flushes the agent's homogeneous batch.
+	class := opClass(fm.Command)
+	if s.haveLastOp && class != s.lastOpClass {
+		s.clock.Sleep(s.profile.Costs.opCost(s.rng, s.profile.Costs.TypeSwitchDelta))
+	}
+	s.lastOpClass, s.haveLastOp = class, true
+	switch fm.Command {
+	case openflow.FlowAdd:
+		return s.add(fm)
+	case openflow.FlowModify, openflow.FlowModifyStrict:
+		return s.modify(fm)
+	case openflow.FlowDelete, openflow.FlowDeleteStrict:
+		return s.delete(fm)
+	default:
+		return fmt.Errorf("switchsim: unsupported flow-mod command %v", fm.Command)
+	}
+}
+
+// opClass folds strict/non-strict command variants into add/mod/del.
+func opClass(c openflow.FlowModCommand) openflow.FlowModCommand {
+	switch c {
+	case openflow.FlowModify, openflow.FlowModifyStrict:
+		return openflow.FlowModify
+	case openflow.FlowDelete, openflow.FlowDeleteStrict:
+		return openflow.FlowDelete
+	default:
+		return openflow.FlowAdd
+	}
+}
+
+// chargeAdd advances the clock by the cost of an add with the given number
+// of displaced higher-priority TCAM entries.
+func (s *Switch) chargeAdd(priority uint16, shifted int) {
+	c := s.profile.Costs
+	cost := c.AddBase + time.Duration(shifted)*c.ShiftUnit
+	if s.haveLastAdd && priority != s.lastAddPriority {
+		cost += c.AddPriorityDelta
+	}
+	s.haveLastAdd = true
+	s.lastAddPriority = priority
+	s.clock.Sleep(c.opCost(s.rng, cost))
+}
+
+func (s *Switch) add(fm *openflow.FlowMod) error {
+	rule := &flowtable.Rule{
+		Match:       fm.Match,
+		Priority:    fm.Priority,
+		Actions:     fm.Actions,
+		Cookie:      fm.Cookie,
+		IdleTimeout: fm.IdleTimeout,
+		HardTimeout: fm.HardTimeout,
+		SendFlowRem: fm.Flags&openflow.FlagSendFlowRem != 0,
+	}
+	e := &entry{rule: rule, insertSeq: s.nextEvent()}
+	e.useSeq = e.insertSeq
+	now := s.clock.Now()
+
+	switch s.profile.Kind {
+	case ManageTCAMOnly:
+		shifted := s.tcam.CountHigher(fm.Priority)
+		if _, err := s.tcam.Insert(rule, now); err != nil {
+			// Rejections are fast: the agent fails before touching hardware.
+			s.clock.Sleep(s.profile.Costs.opCost(s.rng, s.profile.Costs.AddBase))
+			return ErrTableFull
+		}
+		s.chargeAdd(fm.Priority, shifted)
+		e.inTCAM = true
+
+	case ManagePolicyCache:
+		if err := s.addPolicyCache(rule, e, now); err != nil {
+			return err
+		}
+
+	case ManageMicroflow:
+		if _, err := s.software.Insert(rule, now); err != nil {
+			s.clock.Sleep(s.profile.Costs.opCost(s.rng, s.profile.Costs.AddBase))
+			return ErrTableFull
+		}
+		s.clock.Sleep(s.profile.Costs.opCost(s.rng, s.profile.Costs.AddBase))
+	}
+	s.entries[rule] = e
+	s.scheduleExpiry(rule, s.clock.Now())
+	return nil
+}
+
+// addPolicyCache implements the Switch #1 style hierarchy: the rule lands in
+// TCAM if it fits or if the cache policy prefers it over a current resident;
+// otherwise it goes to the software table. Priority-shift costs are charged
+// against the combined resident rule set: the agent keeps one sorted view
+// of all rules (TCAM plus user-space virtual tables), so out-of-order
+// insertion stays expensive even past the TCAM capacity — which is why the
+// descending-priority curve of Figure 3(c) keeps its quadratic shape all
+// the way to 5000 rules on a 2K TCAM.
+func (s *Switch) addPolicyCache(rule *flowtable.Rule, e *entry, now time.Time) error {
+	width := rule.Match.Width()
+	eligible := s.tcamAdmits(width)
+	shifted := s.tcam.CountHigher(rule.Priority) + s.software.CountHigher(rule.Priority)
+	if eligible && s.tcam.Fits(width) {
+		if _, err := s.tcam.Insert(rule, now); err == nil {
+			s.chargeAdd(rule.Priority, shifted)
+			e.inTCAM = true
+			return nil
+		}
+	}
+	if eligible {
+		// Cache full: does the policy prefer the new flow over the worst
+		// resident? (The evicted element "may be the new element, in which
+		// case the cache state does not change".)
+		if victim := s.worstTCAMEntry(); victim != nil && s.profile.CachePolicy.Better(e, victim) {
+			if s.evictUntilFits(width, e) {
+				if _, err := s.tcam.Insert(rule, now); err == nil {
+					s.chargeAdd(rule.Priority, shifted)
+					e.inTCAM = true
+					return nil
+				}
+			}
+		}
+	}
+	if _, err := s.software.Insert(rule, now); err != nil {
+		s.clock.Sleep(s.profile.Costs.opCost(s.rng, s.profile.Costs.AddBase))
+		return ErrTableFull
+	}
+	s.chargeAdd(rule.Priority, shifted)
+	return nil
+}
+
+// tcamAdmits reports whether the TCAM mode can host entries of width w.
+func (s *Switch) tcamAdmits(w flowtable.Width) bool {
+	if s.tcam == nil {
+		return false
+	}
+	if s.tcam.Config().Mode == flowtable.ModeSingleWide && w == flowtable.WidthL2L3 {
+		return false
+	}
+	return true
+}
+
+// worstTCAMEntry returns the policy's eviction candidate among TCAM
+// residents, ignoring the default route (priority-0 punt rules are pinned
+// by vendor agents).
+func (s *Switch) worstTCAMEntry() *entry {
+	var candidates []*entry
+	for _, r := range s.tcam.Rules() {
+		e := s.entries[r]
+		if e == nil {
+			continue
+		}
+		candidates = append(candidates, e)
+	}
+	return s.profile.CachePolicy.Worst(candidates)
+}
+
+// evictUntilFits evicts policy-worst TCAM entries (those worse than the
+// contender) into the software table until width w fits. It returns false —
+// undoing nothing, since partial eviction still leaves a valid state — when
+// the remaining residents all order better than the contender.
+func (s *Switch) evictUntilFits(w flowtable.Width, contender *entry) bool {
+	for !s.tcam.Fits(w) {
+		victim := s.worstTCAMEntry()
+		if victim == nil || !s.profile.CachePolicy.Better(contender, victim) {
+			return false
+		}
+		if !s.demote(victim) {
+			return false
+		}
+	}
+	return true
+}
+
+// demote moves a TCAM resident into the software table. It fails without
+// side effects when the software table cannot absorb the victim, which in
+// turn makes the triggering add fail with a table-full error — matching
+// real agents, which reject flow-mods rather than silently discard rules.
+func (s *Switch) demote(victim *entry) bool {
+	if _, err := s.software.Insert(victim.rule, s.clock.Now()); err != nil {
+		return false
+	}
+	if !s.tcam.Remove(victim.rule) {
+		s.software.Remove(victim.rule)
+		return false
+	}
+	victim.inTCAM = false
+	s.stats.Evictions++
+	return true
+}
+
+// promote moves a software entry into TCAM, evicting as needed.
+func (s *Switch) promote(e *entry) bool {
+	w := e.rule.Match.Width()
+	if !s.tcamAdmits(w) {
+		return false
+	}
+	if !s.tcam.Fits(w) && !s.evictUntilFits(w, e) {
+		return false
+	}
+	if !s.software.Remove(e.rule) {
+		return false
+	}
+	if _, err := s.tcam.Insert(e.rule, s.clock.Now()); err != nil {
+		_, _ = s.software.Insert(e.rule, s.clock.Now())
+		return false
+	}
+	e.inTCAM = true
+	s.stats.Promotions++
+	return true
+}
+
+// locate finds the live rule with the same match and priority.
+func (s *Switch) locate(m *flowtable.Match, priority uint16) *flowtable.Rule {
+	for r := range s.entries {
+		if r.Priority == priority && r.Match.Same(m) {
+			return r
+		}
+	}
+	return nil
+}
+
+func (s *Switch) modify(fm *openflow.FlowMod) error {
+	r := s.locate(&fm.Match, fm.Priority)
+	if r == nil {
+		// OpenFlow 1.0 MODIFY on a missing rule behaves like an add.
+		return s.add(fm)
+	}
+	r.Actions = fm.Actions
+	r.Cookie = fm.Cookie
+	s.invalidateKernel(r)
+	s.clock.Sleep(s.profile.Costs.opCost(s.rng, s.profile.Costs.ModBase))
+	return nil
+}
+
+func (s *Switch) delete(fm *openflow.FlowMod) error {
+	strict := fm.Command == openflow.FlowDeleteStrict
+	var victims []*flowtable.Rule
+	for r := range s.entries {
+		if strict {
+			if r.Priority == fm.Priority && r.Match.Same(&fm.Match) {
+				victims = append(victims, r)
+			}
+		} else if fm.Match.Covers(&r.Match) {
+			victims = append(victims, r)
+		}
+	}
+	if len(victims) == 0 {
+		// Deleting nothing is not an error in OpenFlow, but it still costs
+		// a channel round trip.
+		s.clock.Sleep(s.profile.Costs.opCost(s.rng, s.profile.Costs.DelBase))
+		return nil
+	}
+	now := s.clock.Now()
+	for _, r := range victims {
+		s.noteRemoved(r, openflow.RemovedDelete, now)
+		s.removeRule(r)
+		s.clock.Sleep(s.profile.Costs.opCost(s.rng, s.profile.Costs.DelBase))
+	}
+	return nil
+}
+
+func (s *Switch) removeRule(r *flowtable.Rule) {
+	e := s.entries[r]
+	delete(s.entries, r)
+	s.invalidateKernel(r)
+	if e != nil && e.inTCAM {
+		s.tcam.Remove(r)
+		// A freed TCAM slot is refilled by the best software resident —
+		// Switch #1 "pushes the oldest software entry into TCAM whenever an
+		// empty slot is available"; under other policies the policy-best
+		// entry moves up.
+		s.refillTCAM()
+		return
+	}
+	if s.software != nil {
+		s.software.Remove(r)
+	}
+}
+
+// refillTCAM promotes policy-best software entries while TCAM space allows.
+func (s *Switch) refillTCAM() {
+	if s.software == nil || s.profile.Kind != ManagePolicyCache {
+		return
+	}
+	for {
+		best := s.bestSoftwareEntry()
+		if best == nil || !s.tcam.Fits(best.rule.Match.Width()) {
+			return
+		}
+		if !s.promote(best) {
+			return
+		}
+	}
+}
+
+// bestSoftwareEntry returns the policy-best TCAM-eligible software entry.
+func (s *Switch) bestSoftwareEntry() *entry {
+	var best *entry
+	for _, r := range s.software.Rules() {
+		e := s.entries[r]
+		if e == nil || !s.tcamAdmits(r.Match.Width()) {
+			continue
+		}
+		if best == nil || s.profile.CachePolicy.Better(e, best) {
+			best = e
+		}
+	}
+	return best
+}
+
+// invalidateKernel removes microflow cache entries derived from rule r.
+func (s *Switch) invalidateKernel(r *flowtable.Rule) {
+	if s.kernel == nil {
+		return
+	}
+	for ft, ke := range s.kernel {
+		if ke.owner.rule == r {
+			delete(s.kernel, ft)
+		}
+	}
+}
+
+// SendPacket injects a data-plane frame on inPort and returns the
+// forwarding result with its simulated RTT. The clock advances by the RTT.
+func (s *Switch) SendPacket(data []byte, inPort uint16) (Result, error) {
+	return s.SendPacketN(data, inPort, 1)
+}
+
+// SendPacketN injects the same frame n times back to back, which traffic-
+// initialization patterns use to drive a flow's packet counter to a target
+// value. The pipeline decision (and the returned Result) is computed once
+// for the burst; statistics advance by n and the clock by n RTT samples'
+// worth of simulated time. A burst is equivalent to n sequential packets
+// for every cache policy in the model: the policies read only the final
+// attribute values, and mid-burst promotions could only move the flow to a
+// faster tier earlier.
+func (s *Switch) SendPacketN(data []byte, inPort uint16, n int) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("switchsim: burst size %d", n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.clock.Now())
+	f, err := packet.Decode(data)
+	if err != nil {
+		return Result{}, err
+	}
+	s.stats.PacketsSeen += uint64(n)
+	res := s.pipeline(f, inPort, len(data))
+	if n > 1 {
+		// Account the remaining n-1 touches on the matched rule.
+		if res.Rule != nil {
+			e := s.entries[res.Rule]
+			res.Rule.Packets += uint64(n - 1)
+			res.Rule.Bytes += uint64((n - 1) * len(data))
+			if e != nil {
+				e.traffic += uint64(n - 1)
+				e.useSeq = s.nextEvent()
+			}
+			if e != nil && !e.inTCAM {
+				s.maybePromote(e)
+			}
+		}
+		s.clock.Sleep(time.Duration(n-1) * res.RTT)
+	}
+	s.clock.Sleep(res.RTT)
+	return res, nil
+}
+
+// pipeline runs the frame through the table hierarchy.
+func (s *Switch) pipeline(f *packet.Frame, inPort uint16, size int) Result {
+	now := s.clock.Now()
+	switch s.profile.Kind {
+	case ManageMicroflow:
+		return s.microflowPipeline(f, inPort, size, now)
+	default:
+		return s.hardwarePipeline(f, inPort, size, now)
+	}
+}
+
+func (s *Switch) hardwarePipeline(f *packet.Frame, inPort uint16, size int, now time.Time) Result {
+	if r := s.tcam.Lookup(f, inPort); r != nil && r != s.defaultRule {
+		e := s.entries[r]
+		s.touch(e, r, size, now)
+		if isController(r) {
+			s.stats.ControlMiss++
+			return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng), Rule: r}
+		}
+		path, dist := s.tcamTier(r)
+		if path == PathFast {
+			s.stats.FastHits++
+		} else {
+			s.stats.MidHits++
+		}
+		return Result{Path: path, RTT: dist.Sample(s.rng), OutPort: outPort(r), Rule: r}
+	}
+	if s.software != nil {
+		if r := s.software.Lookup(f, inPort); r != nil {
+			e := s.entries[r]
+			s.touch(e, r, size, now)
+			s.maybePromote(e)
+			if isController(r) {
+				s.stats.ControlMiss++
+				return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng), Rule: r}
+			}
+			s.stats.SlowHits++
+			return Result{Path: PathSlow, RTT: s.profile.SlowPath.Sample(s.rng), OutPort: outPort(r), Rule: r}
+		}
+	}
+	s.stats.ControlMiss++
+	return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng)}
+}
+
+// tcamTier maps a TCAM resident to its latency tier based on its physical
+// slot: the first MidPathSlots entries run at FastPath speed, the rest at
+// MidPath (Figure 5's two fast banks). With MidPathSlots == 0 the whole
+// TCAM is fast.
+func (s *Switch) tcamTier(r *flowtable.Rule) (PathKind, LatencyDist) {
+	if s.profile.MidPathSlots <= 0 || s.profile.MidPath.Mean == 0 {
+		return PathFast, s.profile.FastPath
+	}
+	for i, rr := range s.tcam.Rules() {
+		if rr == r {
+			if i < s.profile.MidPathSlots {
+				return PathFast, s.profile.FastPath
+			}
+			return PathMid, s.profile.MidPath
+		}
+	}
+	return PathFast, s.profile.FastPath
+}
+
+// maybePromote swaps a software entry into TCAM when the cache policy now
+// prefers it over the worst resident — this is how probing "a flow that was
+// not initially cached might cause some other flow to be evicted".
+func (s *Switch) maybePromote(e *entry) {
+	if s.profile.Kind != ManagePolicyCache || e.inTCAM {
+		return
+	}
+	w := e.rule.Match.Width()
+	if !s.tcamAdmits(w) {
+		return
+	}
+	if s.tcam.Fits(w) {
+		s.promote(e)
+		return
+	}
+	victim := s.worstTCAMEntry()
+	if victim != nil && s.profile.CachePolicy.Better(e, victim) {
+		s.promote(e)
+	}
+}
+
+func (s *Switch) microflowPipeline(f *packet.Frame, inPort uint16, size int, now time.Time) Result {
+	if ft, ok := f.FiveTuple(); ok {
+		if ke, hit := s.kernel[ft]; hit {
+			ke.useSeq = s.nextEvent()
+			s.touch(ke.owner, ke.owner.rule, size, now)
+			r := ke.owner.rule
+			if isController(r) {
+				s.stats.ControlMiss++
+				return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng), Rule: r}
+			}
+			s.stats.FastHits++
+			return Result{Path: PathFast, RTT: s.profile.FastPath.Sample(s.rng), OutPort: outPort(r), Rule: r}
+		}
+	}
+	if r := s.software.Lookup(f, inPort); r != nil {
+		e := s.entries[r]
+		s.touch(e, r, size, now)
+		if isController(r) {
+			s.stats.ControlMiss++
+			return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng), Rule: r}
+		}
+		// Install the exact-match microflow entry so the flow's next packet
+		// takes the kernel fast path (the 1-to-N user→kernel mapping).
+		if ft, ok := f.FiveTuple(); ok {
+			s.kernel[ft] = &kernelEntry{owner: e, useSeq: s.nextEvent()}
+			s.evictKernelIfNeeded()
+		}
+		s.stats.SlowHits++
+		return Result{Path: PathSlow, RTT: s.profile.SlowPath.Sample(s.rng), OutPort: outPort(r), Rule: r}
+	}
+	s.stats.ControlMiss++
+	return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng)}
+}
+
+// evictKernelIfNeeded applies LRU eviction to the kernel microflow cache
+// when a capacity is configured.
+func (s *Switch) evictKernelIfNeeded() {
+	cap := s.profile.KernelCapacity
+	if cap <= 0 || len(s.kernel) <= cap {
+		return
+	}
+	var victimKey packet.FiveTuple
+	var victim *kernelEntry
+	for k, ke := range s.kernel {
+		if victim == nil || ke.useSeq < victim.useSeq {
+			victim, victimKey = ke, k
+		}
+	}
+	if victim != nil {
+		delete(s.kernel, victimKey)
+		s.stats.Evictions++
+	}
+}
+
+func (s *Switch) touch(e *entry, r *flowtable.Rule, size int, now time.Time) {
+	r.Touch(size, now)
+	if e != nil {
+		e.useSeq = s.nextEvent()
+		e.traffic++
+	}
+}
+
+func isController(r *flowtable.Rule) bool {
+	for _, a := range r.Actions {
+		if a.Type == flowtable.ActionController {
+			return true
+		}
+	}
+	// An empty action list drops the frame; it does not punt.
+	return false
+}
+
+func outPort(r *flowtable.Rule) uint16 {
+	for _, a := range r.Actions {
+		if a.Type == flowtable.ActionOutput {
+			return a.Port
+		}
+	}
+	return openflow.PortNone
+}
+
+// InTCAM reports whether the rule identified by (match, priority) currently
+// resides in the hardware table. Tests and experiments use it as ground
+// truth for cache state.
+func (s *Switch) InTCAM(m *flowtable.Match, priority uint16) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.locate(m, priority)
+	if r == nil {
+		return false
+	}
+	e := s.entries[r]
+	return e != nil && e.inTCAM
+}
+
+// TCAMCapacityNow returns how many more entries of width w the hardware
+// table can hold — ground truth for size-inference accuracy.
+func (s *Switch) TCAMCapacityNow(w flowtable.Width) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tcam == nil {
+		return 0
+	}
+	return s.tcam.EffectiveCapacity(w)
+}

@@ -1,0 +1,121 @@
+// Package workload generates synthetic data-plane traffic traces. The
+// paper's utilization challenge (§1) is that whether a rule sits in TCAM
+// "can have a significant impact on its throughput, and therefore quality
+// of service" — which rules those are depends on the switch's caching
+// policy and the traffic's popularity distribution. This package supplies
+// the traffic side: Zipf-skewed flow popularity, the canonical model for
+// network flow size distributions, plus uniform and scan traces as
+// contrast.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind selects a trace shape.
+type Kind int
+
+// Trace shapes.
+const (
+	// KindZipf draws flows from a Zipf popularity distribution — few
+	// elephants, many mice.
+	KindZipf Kind = iota
+	// KindUniform draws flows uniformly.
+	KindUniform
+	// KindScan cycles through all flows round-robin — the adversarial
+	// pattern for LRU-style caches.
+	KindScan
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindZipf:
+		return "zipf"
+	case KindUniform:
+		return "uniform"
+	default:
+		return "scan"
+	}
+}
+
+// Options parameterises Generate.
+type Options struct {
+	Kind Kind
+	// Flows is the flow population size.
+	Flows int
+	// Packets is the trace length.
+	Packets int
+	// Skew is the Zipf s parameter (>1); ignored for other kinds.
+	// Zero means 1.2.
+	Skew float64
+	// Seed drives the RNG.
+	Seed int64
+}
+
+// Generate produces a packet trace: a sequence of flow IDs in arrival
+// order. It panics on non-positive Flows/Packets, which indicate broken
+// experiment setup.
+func Generate(opts Options) []uint32 {
+	if opts.Flows <= 0 || opts.Packets <= 0 {
+		panic(fmt.Sprintf("workload: bad options %+v", opts))
+	}
+	if opts.Skew == 0 {
+		opts.Skew = 1.2
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := make([]uint32, opts.Packets)
+	switch opts.Kind {
+	case KindZipf:
+		z := rand.NewZipf(rng, opts.Skew, 1, uint64(opts.Flows-1))
+		for i := range out {
+			out[i] = uint32(z.Uint64())
+		}
+	case KindUniform:
+		for i := range out {
+			out[i] = uint32(rng.Intn(opts.Flows))
+		}
+	case KindScan:
+		for i := range out {
+			out[i] = uint32(i % opts.Flows)
+		}
+	}
+	return out
+}
+
+// Popularity returns each flow's packet count in the trace, indexed by
+// flow ID over [0, flows).
+func Popularity(trace []uint32, flows int) []int {
+	counts := make([]int, flows)
+	for _, f := range trace {
+		if int(f) < flows {
+			counts[f]++
+		}
+	}
+	return counts
+}
+
+// TopShare returns the fraction of packets carried by the k most popular
+// flows — a quick skew diagnostic.
+func TopShare(trace []uint32, flows, k int) float64 {
+	if len(trace) == 0 || k <= 0 {
+		return 0
+	}
+	counts := Popularity(trace, flows)
+	// Partial selection of the k largest counts.
+	for i := 0; i < k && i < len(counts); i++ {
+		maxAt := i
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j] > counts[maxAt] {
+				maxAt = j
+			}
+		}
+		counts[i], counts[maxAt] = counts[maxAt], counts[i]
+	}
+	top := 0
+	for i := 0; i < k && i < len(counts); i++ {
+		top += counts[i]
+	}
+	return float64(top) / float64(len(trace))
+}
