@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 
 	"tango/internal/ofconn"
 	"tango/internal/simclock"
 	"tango/internal/switchsim"
+	"tango/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +33,7 @@ func main() {
 		scale        = flag.Float64("scale", 0.001, "wall-time scale for emulated latencies")
 		defaultRoute = flag.Bool("default-route", false, "pre-install the punt-to-controller default route")
 		seed         = flag.Int64("seed", 42, "latency model RNG seed")
+		telemAddr    = flag.String("telemetry", "", "serve /metrics and /trace over HTTP on this address (e.g. 127.0.0.1:8080)")
 	)
 	flag.Parse()
 
@@ -38,6 +41,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	var serveOpts ofconn.ServeOptions
+	if *telemAddr != "" {
+		reg := telemetry.NewRegistry()
+		tr := telemetry.NewTracer(nil)
+		telemetry.SetDefault(reg, tr)
+		serveOpts.Metrics, serveOpts.Tracer = reg, tr
+		go func() {
+			log.Printf("switchd: telemetry on http://%s/", *telemAddr)
+			if err := http.ListenAndServe(*telemAddr, telemetry.Handler(reg, tr)); err != nil {
+				log.Printf("switchd: telemetry server: %v", err)
+			}
+		}()
 	}
 	opts := []switchsim.Option{
 		switchsim.WithClock(&simclock.Real{Scale: *scale}),
@@ -54,7 +70,7 @@ func main() {
 	}
 	log.Printf("switchd: %s (%s, dpid=%#x) listening on %s, scale=%g",
 		prof.Name, prof.Kind, prof.DatapathID, ln.Addr(), *scale)
-	log.Fatal(ofconn.Serve(ln, sw))
+	log.Fatal(ofconn.ServeWith(ln, sw, serveOpts))
 }
 
 // profileByName maps the flag value to a vendor profile.

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"tango/internal/experiments"
+	"tango/internal/telemetry"
 )
 
 // experiment is one runnable table/figure driver.
@@ -81,12 +82,35 @@ func catalog() []experiment {
 
 func main() {
 	var (
-		only = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		runs = flag.Int("runs", 10, "repeat runs for the multi-run figures")
-		out  = flag.String("out", "", "directory to write .dat series files into")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		only       = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		runs       = flag.Int("runs", 10, "repeat runs for the multi-run figures")
+		out        = flag.String("out", "", "directory to write .dat series files into")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		metricsOut = flag.String("metrics-out", "", "write a telemetry metrics snapshot (JSON) to this file")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event file (JSON) to this file")
 	)
 	flag.Parse()
+
+	// Validate output destinations before burning minutes of experiment
+	// time, so a typo'd path fails immediately instead of at the end.
+	if *out != "" {
+		if err := checkWritableDir(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "tangobench: -out: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, p := range []struct{ flag, path string }{
+		{"-metrics-out", *metricsOut}, {"-trace-out", *traceOut},
+	} {
+		if p.path == "" {
+			continue
+		}
+		if err := checkWritableFile(p.path); err != nil {
+			fmt.Fprintf(os.Stderr, "tangobench: %s: %v\n", p.flag, err)
+			os.Exit(1)
+		}
+	}
+	flush := telemetry.Setup(*metricsOut, *traceOut)
 
 	cat := catalog()
 	if *list {
@@ -136,6 +160,35 @@ func main() {
 		}
 		fmt.Printf("[%s done in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
+	if err := flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "tangobench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// checkWritableDir verifies dir can be created and written into by probing
+// with a temp file.
+func checkWritableDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".tangobench-*")
+	if err != nil {
+		return fmt.Errorf("directory %s is not writable: %w", dir, err)
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
+}
+
+// checkWritableFile verifies path can be opened for writing without
+// truncating an existing file.
+func checkWritableFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // writeDat dumps figures as per-series gnuplot .dat files and tables as a

@@ -54,3 +54,58 @@ func TestWriteDat(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// unwritablePath returns a path whose parent is a regular file, which no
+// process — including root — can create children under.
+func unwritablePath(t *testing.T) string {
+	t.Helper()
+	blocker := filepath.Join(t.TempDir(), "afile")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(blocker, "sub")
+}
+
+func TestCheckWritableDirRejectsBadPath(t *testing.T) {
+	if err := checkWritableDir(unwritablePath(t)); err == nil {
+		t.Fatal("checkWritableDir accepted a path under a regular file")
+	}
+}
+
+func TestCheckWritableDirAcceptsNewDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "new", "nested")
+	if err := checkWritableDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The probe temp file must not linger.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("probe left %d entries behind", len(ents))
+	}
+}
+
+func TestCheckWritableFileRejectsBadPath(t *testing.T) {
+	if err := checkWritableFile(filepath.Join(unwritablePath(t), "m.json")); err == nil {
+		t.Fatal("checkWritableFile accepted a path under a regular file")
+	}
+}
+
+func TestCheckWritableFileKeepsExistingContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := os.WriteFile(path, []byte("existing"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkWritableFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "existing" {
+		t.Fatalf("probe truncated the file: %q", data)
+	}
+}

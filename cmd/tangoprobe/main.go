@@ -24,6 +24,7 @@ import (
 	"tango/internal/core/probe"
 	"tango/internal/ofconn"
 	"tango/internal/switchsim"
+	"tango/internal/telemetry"
 )
 
 func main() {
@@ -36,8 +37,14 @@ func main() {
 		skipPol  = flag.Bool("skip-policy", false, "skip the cache-policy probe")
 		curves   = flag.Bool("curves", false, "also measure priority-ordering installation curves")
 		channel  = flag.Bool("channel", false, "also run the Oflops-style channel benchmark")
+		metrics  = flag.String("metrics-out", "", "write a telemetry metrics snapshot (JSON) to this file")
+		trace    = flag.String("trace-out", "", "write a Chrome trace_event file (JSON) to this file")
 	)
 	flag.Parse()
+
+	// Install the process-wide telemetry defaults before any engine or
+	// switch is constructed, so everything below binds to them.
+	flush := telemetry.Setup(*metrics, *trace)
 
 	var (
 		dev  tango.Device
@@ -121,6 +128,10 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+
+	if err := flush(); err != nil {
+		log.Fatalf("tangoprobe: %v", err)
 	}
 }
 

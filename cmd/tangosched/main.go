@@ -17,6 +17,7 @@ import (
 
 	"tango/internal/core/sched"
 	"tango/internal/experiments"
+	"tango/internal/telemetry"
 )
 
 func main() {
@@ -26,8 +27,14 @@ func main() {
 		requests = flag.Int("requests", 800, "total requests for -scenario te")
 		ratio    = flag.String("ratio", "2:1:1", "add:mod:del ratio for -scenario te")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		metrics  = flag.String("metrics-out", "", "write a telemetry metrics snapshot (JSON) to this file")
+		trace    = flag.String("trace-out", "", "write a Chrome trace_event file (JSON, loads in Perfetto) to this file")
 	)
 	flag.Parse()
+
+	// Bind process-wide telemetry before probing or scheduling so the
+	// sched.batch/sched.round spans land in the exported trace.
+	flush := telemetry.Setup(*metrics, *trace)
 
 	profiles := experiments.TestbedProfiles()
 	fmt.Println("probing testbed switches for score cards...")
@@ -87,6 +94,10 @@ func main() {
 			fmt.Printf("%-22s %v (%d rounds, %.1f%% faster than dionysus)\n",
 				s.Name(), d.Round(time.Millisecond), res.Rounds, imp)
 		}
+	}
+
+	if err := flush(); err != nil {
+		log.Fatalf("tangosched: %v", err)
 	}
 }
 

@@ -101,6 +101,8 @@ func ProbeSizes(e *probe.Engine, opts SizeOptions) (*SizeResult, error) {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	res := &SizeResult{}
+	tr := e.Tracer()
+	sizeStart := e.Device().Now()
 
 	// Stage 1: doubling installation.
 	installed := 0
@@ -108,6 +110,7 @@ func ProbeSizes(e *probe.Engine, opts SizeOptions) (*SizeResult, error) {
 		if target > opts.MaxRules {
 			target = opts.MaxRules
 		}
+		roundStart := e.Device().Now()
 		for i := installed; i < target; i++ {
 			if err := e.Install(opts.FlowIDBase+uint32(i), opts.Priority); err != nil {
 				res.CacheFull = true
@@ -118,6 +121,10 @@ func ProbeSizes(e *probe.Engine, opts SizeOptions) (*SizeResult, error) {
 				return nil, err
 			}
 			res.ProbesSent++
+		}
+		if tr != nil {
+			tr.Record("probe.round", "", roundStart, e.Device().Now().Sub(roundStart),
+				map[string]any{"target": target, "installed": installed, "full": res.CacheFull})
 		}
 	}
 	if installed == 0 {
@@ -144,6 +151,7 @@ func ProbeSizes(e *probe.Engine, opts SizeOptions) (*SizeResult, error) {
 
 	// Stage 3: negative-binomial sampling per level.
 	for level := range cl.Clusters {
+		levelStart := e.Device().Now()
 		size, probes, err := estimateLevel(e, rng, opts, m, cl.Clusters, level)
 		if err != nil {
 			return nil, err
@@ -154,11 +162,19 @@ func ProbeSizes(e *probe.Engine, opts SizeOptions) (*SizeResult, error) {
 			Size:    size,
 			Census:  cl.Clusters[level].Count,
 		})
+		if tr != nil {
+			tr.Record("infer.sample", "", levelStart, e.Device().Now().Sub(levelStart),
+				map[string]any{"level": level, "size": size, "probes": probes})
+		}
 	}
 	// With a single tier everything fits in one layer; the estimate is m
 	// itself (sampling would degenerate to p̂→1 with capped runs).
 	if len(cl.Clusters) == 1 {
 		res.Levels[0].Size = m
+	}
+	if tr != nil {
+		tr.Record("infer.size", "", sizeStart, e.Device().Now().Sub(sizeStart),
+			map[string]any{"rules": m, "levels": len(res.Levels), "probes": res.ProbesSent, "full": res.CacheFull})
 	}
 	return res, nil
 }

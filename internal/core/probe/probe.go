@@ -15,6 +15,7 @@ import (
 	"tango/internal/openflow"
 	"tango/internal/packet"
 	"tango/internal/switchsim"
+	"tango/internal/telemetry"
 )
 
 // Device is the switch-side contract the probing engine needs: confirmed
@@ -75,15 +76,49 @@ type Engine struct {
 	// frames caches built probe frames by flow ID — probing re-sends the
 	// same flows thousands of times.
 	frames map[uint32][]byte
+
+	// Telemetry handles. All nil-safe: an engine built with no registry
+	// (and no process default installed) records nothing at no cost.
+	tracer    *telemetry.Tracer
+	mFlowMods *telemetry.Counter
+	mProbes   *telemetry.Counter
+	mPunted   *telemetry.Counter
+	mTraffic  *telemetry.Counter
+	hRTT      *telemetry.Histogram
 }
 
-// NewEngine returns an engine driving dev.
+// NewEngine returns an engine driving dev, bound to the process-wide
+// default telemetry (a no-op unless a command installed one).
 func NewEngine(dev Device) *Engine {
-	return &Engine{dev: dev, InPort: 1, frames: make(map[uint32][]byte)}
+	e := &Engine{dev: dev, InPort: 1, frames: make(map[uint32][]byte)}
+	e.SetTelemetry(telemetry.Default(), telemetry.DefaultTracer())
+	return e
 }
+
+// SetTelemetry rebinds the engine's metrics and tracer. Either argument may
+// be nil to disable that half.
+func (e *Engine) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	e.tracer = tr
+	e.mFlowMods = reg.Counter("probe.flowmods")
+	e.mProbes = reg.Counter("probe.probes_sent")
+	e.mPunted = reg.Counter("probe.punted")
+	e.mTraffic = reg.Counter("probe.traffic_packets")
+	e.hRTT = reg.Histogram("probe.rtt_ns")
+}
+
+// Tracer returns the engine's tracer (possibly nil). The inference
+// algorithms use it to emit probe.round / infer.size spans on the device's
+// virtual timeline.
+func (e *Engine) Tracer() *telemetry.Tracer { return e.tracer }
 
 // Device returns the engine's device.
 func (e *Engine) Device() Device { return e.dev }
+
+// flowMod issues one flow-mod through the device, counting it.
+func (e *Engine) flowMod(fm *openflow.FlowMod) error {
+	e.mFlowMods.Add(1)
+	return e.dev.FlowMod(fm)
+}
 
 // frame returns (building if needed) the probe frame for flow id.
 func (e *Engine) frame(id uint32) ([]byte, error) {
@@ -120,17 +155,17 @@ func flowMod(op pattern.Op) *openflow.FlowMod {
 
 // Install adds the probe rule for flow id at the given priority.
 func (e *Engine) Install(id uint32, priority uint16) error {
-	return e.dev.FlowMod(flowMod(pattern.Op{Kind: pattern.OpAdd, FlowID: id, Priority: priority}))
+	return e.flowMod(flowMod(pattern.Op{Kind: pattern.OpAdd, FlowID: id, Priority: priority}))
 }
 
 // Modify rewrites the actions of flow id's rule.
 func (e *Engine) Modify(id uint32, priority uint16) error {
-	return e.dev.FlowMod(flowMod(pattern.Op{Kind: pattern.OpMod, FlowID: id, Priority: priority}))
+	return e.flowMod(flowMod(pattern.Op{Kind: pattern.OpMod, FlowID: id, Priority: priority}))
 }
 
 // Delete removes flow id's rule.
 func (e *Engine) Delete(id uint32, priority uint16) error {
-	return e.dev.FlowMod(flowMod(pattern.Op{Kind: pattern.OpDel, FlowID: id, Priority: priority}))
+	return e.flowMod(flowMod(pattern.Op{Kind: pattern.OpDel, FlowID: id, Priority: priority}))
 }
 
 // Probe sends flow id's frame and returns its RTT and whether it punted.
@@ -139,7 +174,15 @@ func (e *Engine) Probe(id uint32) (time.Duration, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
-	return e.dev.SendProbe(f, e.InPort)
+	rtt, punted, err := e.dev.SendProbe(f, e.InPort)
+	if err == nil {
+		e.mProbes.Add(1)
+		e.hRTT.Observe(float64(rtt))
+		if punted {
+			e.mPunted.Add(1)
+		}
+	}
+	return rtt, punted, err
 }
 
 // SendTraffic drives flow id's packet counter up by count packets, using
@@ -153,12 +196,17 @@ func (e *Engine) SendTraffic(id uint32, count int) error {
 		return err
 	}
 	if ts, ok := e.dev.(TrafficSender); ok {
-		return ts.SendTraffic(f, e.InPort, count)
+		if err := ts.SendTraffic(f, e.InPort, count); err != nil {
+			return err
+		}
+		e.mTraffic.Add(int64(count))
+		return nil
 	}
 	for i := 0; i < count; i++ {
 		if _, _, err := e.dev.SendProbe(f, e.InPort); err != nil {
 			return err
 		}
+		e.mTraffic.Add(1)
 	}
 	return nil
 }
@@ -186,7 +234,7 @@ func (e *Engine) Run(p pattern.Pattern) (pattern.Result, error) {
 	start := e.dev.Now()
 	for _, op := range p.Ops {
 		opStart := e.dev.Now()
-		if err := e.dev.FlowMod(flowMod(op)); err != nil {
+		if err := e.flowMod(flowMod(op)); err != nil {
 			return res, fmt.Errorf("probe: op %s flow %d: %w", op.Kind, op.FlowID, err)
 		}
 		res.Ops = append(res.Ops, pattern.OpTiming{Op: op, Latency: e.dev.Now().Sub(opStart)})
@@ -204,6 +252,10 @@ func (e *Engine) Run(p pattern.Pattern) (pattern.Result, error) {
 		}
 	}
 	res.Total = e.dev.Now().Sub(start)
+	if e.tracer != nil {
+		e.tracer.Record("probe.pattern", "", start, res.Total,
+			map[string]any{"pattern": p.Name, "ops": len(p.Ops)})
+	}
 	return res, nil
 }
 
@@ -212,7 +264,7 @@ func (e *Engine) Run(p pattern.Pattern) (pattern.Result, error) {
 func (e *Engine) TimeOps(ops []pattern.Op) (time.Duration, error) {
 	start := e.dev.Now()
 	for _, op := range ops {
-		if err := e.dev.FlowMod(flowMod(op)); err != nil {
+		if err := e.flowMod(flowMod(op)); err != nil {
 			return e.dev.Now().Sub(start), err
 		}
 	}

@@ -10,10 +10,13 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"tango/internal/core/pattern"
 	"tango/internal/dag"
+	"tango/internal/simclock"
+	"tango/internal/telemetry"
 )
 
 // Request is one switch request (the req_elem of §6): an operation to
@@ -70,6 +73,26 @@ type Tango struct {
 	// rules. It lets the oracle see that deleting high-priority rules
 	// before adding saves TCAM shifts.
 	ExistingHigher func(switchName string, p uint16) int
+	// Metrics, when set, receives the per-pattern score distribution
+	// (histogram "sched.pattern_score_ns": the estimated cost of every
+	// rewrite candidate evaluated). Nil falls back to the process-wide
+	// default registry; with neither, scoring records nothing.
+	Metrics *telemetry.Registry
+
+	scoreOnce sync.Once
+	hScore    *telemetry.Histogram
+}
+
+// scoreHist lazily binds the pattern-score histogram.
+func (t *Tango) scoreHist() *telemetry.Histogram {
+	t.scoreOnce.Do(func() {
+		reg := t.Metrics
+		if reg == nil {
+			reg = telemetry.Default()
+		}
+		t.hScore = reg.Histogram("sched.pattern_score_ns")
+	})
+	return t.hScore
 }
 
 // Name implements Scheduler.
@@ -101,10 +124,12 @@ func (t *Tango) Order(switchName string, reqs []*Request, _ []dag.NodeID, _ *Gra
 	if t.SortPriorities {
 		addOrders = []bool{true, false}
 	}
+	hScore := t.scoreHist()
 	for _, perm := range pattern.Permutations3 {
 		for _, asc := range addOrders {
 			candidate := t.assemble(reqs, perm, asc)
 			cost := card.EstimateOps(toOps(candidate), existing)
+			hScore.Observe(float64(cost))
 			if bestCost < 0 || cost < bestCost {
 				bestCost = cost
 				best = candidate
@@ -209,6 +234,15 @@ type RunOptions struct {
 	// in the next batch alongside the deferred remainder. Requires the
 	// scheduler to implement BatchEstimator; ignored otherwise.
 	NonGreedy bool
+	// Metrics receives run counters (rounds, requests, deadline misses),
+	// the makespan gauge, and the per-batch duration histogram. Nil falls
+	// back to the process-wide default registry; with neither, the run
+	// records nothing.
+	Metrics *telemetry.Registry
+	// Tracer receives sched.round / sched.batch spans on the run's virtual
+	// timeline (each switch on its own track). Nil falls back to the
+	// process-wide default tracer.
+	Tracer *telemetry.Tracer
 }
 
 // BatchEstimator is the optional scheduler capability the non-greedy
@@ -253,6 +287,21 @@ type RunResult struct {
 // Run drains the graph with the given scheduler and executor, returning
 // the simulated network-wide makespan.
 func Run(g *Graph, s Scheduler, exec Executor, opts RunOptions) (*RunResult, error) {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	tr := opts.Tracer
+	if tr == nil {
+		tr = telemetry.DefaultTracer()
+	}
+	var (
+		mRounds   = reg.Counter("sched.rounds")
+		mRequests = reg.Counter("sched.requests")
+		mMisses   = reg.Counter("sched.deadline_misses")
+		gMakespan = reg.Gauge("sched.makespan_ns")
+		hBatch    = reg.Histogram("sched.batch_ns")
+	)
 	res := &RunResult{PerSwitch: map[string]time.Duration{}}
 	for g.Len() > 0 {
 		indep := g.IndependentSet()
@@ -302,12 +351,26 @@ func Run(g *Graph, s Scheduler, exec Executor, opts RunOptions) (*RunResult, err
 			for _, r := range ordered {
 				if r.InstallBy > 0 && finish > r.InstallBy {
 					res.DeadlineMisses++
+					mMisses.Add(1)
 				}
 			}
 			if elapsed > roundMax {
 				roundMax = elapsed
 			}
+			hBatch.Observe(float64(elapsed))
+			if tr != nil {
+				// Batches within a round run in parallel, so each starts at
+				// the round boundary of the composed virtual timeline.
+				tr.Record("sched.batch", sw, simclock.Epoch.Add(res.Makespan), elapsed,
+					map[string]any{"ops": len(ordered), "scheduler": s.Name(), "round": res.Rounds + 1})
+			}
 		}
+		if tr != nil {
+			tr.Record("sched.round", "", simclock.Epoch.Add(res.Makespan), roundMax,
+				map[string]any{"round": res.Rounds + 1, "requests": len(issue)})
+		}
+		mRounds.Add(1)
+		mRequests.Add(int64(len(issue)))
 		res.Makespan += roundMax
 		res.Rounds++
 		for _, id := range issue {
@@ -316,6 +379,7 @@ func Run(g *Graph, s Scheduler, exec Executor, opts RunOptions) (*RunResult, err
 			}
 		}
 	}
+	gMakespan.Set(int64(res.Makespan))
 	return res, nil
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"tango/internal/openflow"
 	"tango/internal/switchsim"
+	"tango/internal/telemetry"
 )
 
 // Controller is one controller-side OpenFlow connection to a switch. Its
@@ -31,6 +32,44 @@ type Controller struct {
 	notify chan openflow.Message
 
 	features *openflow.FeaturesReply
+
+	tel ctrlTelemetry
+}
+
+// ControllerOptions configures DialOptions / NewControllerOptions.
+type ControllerOptions struct {
+	// Metrics receives the controller counters (ofconn.controller.msgs_in,
+	// msgs_out, notify_dropped) and the handshake-latency histogram. Nil
+	// falls back to the process default.
+	Metrics *telemetry.Registry
+	// Tracer receives controller lifecycle instants (ofconn.dial,
+	// ofconn.controller.close). Nil falls back to the process default.
+	Tracer *telemetry.Tracer
+}
+
+// ctrlTelemetry bundles the controller-side handles, resolved once at
+// construction. All handles are nil-safe.
+type ctrlTelemetry struct {
+	tracer     *telemetry.Tracer
+	msgsIn     *telemetry.Counter
+	msgsOut    *telemetry.Counter
+	notifyDrop *telemetry.Counter
+	hHandshake *telemetry.Histogram
+}
+
+func (t *ctrlTelemetry) init(opts ControllerOptions) {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	t.tracer = opts.Tracer
+	if t.tracer == nil {
+		t.tracer = telemetry.DefaultTracer()
+	}
+	t.msgsIn = reg.Counter("ofconn.controller.msgs_in")
+	t.msgsOut = reg.Counter("ofconn.controller.msgs_out")
+	t.notifyDrop = reg.Counter("ofconn.controller.notify_dropped")
+	t.hHandshake = reg.Histogram("ofconn.controller.handshake_ns")
 }
 
 // ErrClosed is returned for operations on a closed controller connection.
@@ -39,27 +78,42 @@ var ErrClosed = errors.New("ofconn: connection closed")
 // Dial connects to an OpenFlow switch at addr, performs the HELLO and
 // FEATURES handshake, and returns a ready controller.
 func Dial(addr string) (*Controller, error) {
+	return DialOptions(addr, ControllerOptions{})
+}
+
+// DialOptions is Dial with explicit telemetry bindings.
+func DialOptions(addr string, opts ControllerOptions) (*Controller, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewController(conn)
+	return NewControllerOptions(conn, opts)
 }
 
 // NewController wraps an established connection (also used in tests over
 // net.Pipe) and performs the handshake.
 func NewController(conn net.Conn) (*Controller, error) {
+	return NewControllerOptions(conn, ControllerOptions{})
+}
+
+// NewControllerOptions is NewController with explicit telemetry bindings.
+func NewControllerOptions(conn net.Conn, opts ControllerOptions) (*Controller, error) {
 	c := &Controller{
 		conn:    conn,
 		pending: make(map[uint32]chan openflow.Message),
 		closed:  make(chan struct{}),
 		notify:  make(chan openflow.Message, 256),
 	}
+	c.tel.init(opts)
+	c.tel.tracer.Instant("ofconn.dial", "", map[string]any{"remote": conn.RemoteAddr().String()})
 	go c.readLoop()
+	start := time.Now()
 	if err := c.handshake(); err != nil {
 		c.Close()
 		return nil, err
 	}
+	// Handshake latency is wall time: this path talks to a real socket.
+	c.tel.hHandshake.Observe(float64(time.Since(start)))
 	return c, nil
 }
 
@@ -77,6 +131,7 @@ func (c *Controller) readLoop() {
 			close(c.closed)
 			return
 		}
+		c.tel.msgsIn.Add(1)
 		if msg.Type() == openflow.TypeHello {
 			continue // connection-opening pleasantry, not awaited
 		}
@@ -98,6 +153,7 @@ func (c *Controller) readLoop() {
 			default:
 				select {
 				case <-c.notify:
+					c.tel.notifyDrop.Add(1)
 				default:
 				}
 				continue
@@ -133,7 +189,11 @@ func (c *Controller) unregister(xid uint32) {
 }
 
 func (c *Controller) send(m openflow.Message) error {
-	return openflow.WriteMessage(c.conn, m)
+	if err := openflow.WriteMessage(c.conn, m); err != nil {
+		return err
+	}
+	c.tel.msgsOut.Add(1)
+	return nil
 }
 
 // await blocks for the reply to xid on ch.
@@ -356,4 +416,7 @@ func (c *Controller) FlowStats() ([]openflow.FlowStats, error) {
 func (c *Controller) Now() time.Time { return time.Now() }
 
 // Close tears down the connection.
-func (c *Controller) Close() error { return c.conn.Close() }
+func (c *Controller) Close() error {
+	c.tel.tracer.Instant("ofconn.controller.close", "", nil)
+	return c.conn.Close()
+}

@@ -18,21 +18,81 @@ import (
 
 	"tango/internal/openflow"
 	"tango/internal/switchsim"
+	"tango/internal/telemetry"
 )
 
-// Serve accepts controller connections on ln and services each with sw.
-// It returns when the listener fails (e.g. is closed). Each connection is
-// handled on its own goroutine; the switch itself serialises operations.
+// ServeOptions configures ServeWith.
+type ServeOptions struct {
+	// Logger receives connection-lifecycle messages (errors ending a
+	// connection). Nil means log.Default(); tests inject a silenced or
+	// capturing logger.
+	Logger *log.Logger
+	// Metrics receives the server counters (ofconn.accepted, active_conns,
+	// msgs_in/out, conn_errors). Nil falls back to the process default.
+	Metrics *telemetry.Registry
+	// Tracer receives ofconn.accept / ofconn.close lifecycle events. Nil
+	// falls back to the process default.
+	Tracer *telemetry.Tracer
+}
+
+// serverTelemetry bundles the per-listener handles resolved once in
+// ServeWith.
+type serverTelemetry struct {
+	tracer   *telemetry.Tracer
+	accepted *telemetry.Counter
+	active   *telemetry.Gauge
+	msgsIn   *telemetry.Counter
+	msgsOut  *telemetry.Counter
+	connErrs *telemetry.Counter
+}
+
+// Serve accepts controller connections on ln and services each with sw,
+// with default options. It returns when the listener fails (e.g. is
+// closed). Each connection is handled on its own goroutine; the switch
+// itself serialises operations.
 func Serve(ln net.Listener, sw *switchsim.Switch) error {
+	return ServeWith(ln, sw, ServeOptions{})
+}
+
+// ServeWith is Serve with an injectable logger and telemetry.
+func ServeWith(ln net.Listener, sw *switchsim.Switch, opts ServeOptions) error {
+	lg := opts.Logger
+	if lg == nil {
+		lg = log.Default()
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	tr := opts.Tracer
+	if tr == nil {
+		tr = telemetry.DefaultTracer()
+	}
+	tel := serverTelemetry{
+		tracer:   tr,
+		accepted: reg.Counter("ofconn.accepted"),
+		active:   reg.Gauge("ofconn.active_conns"),
+		msgsIn:   reg.Counter("ofconn.msgs_in"),
+		msgsOut:  reg.Counter("ofconn.msgs_out"),
+		connErrs: reg.Counter("ofconn.conn_errors"),
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
+		tel.accepted.Add(1)
+		tel.active.Add(1)
+		tel.tracer.Instant("ofconn.accept", "", map[string]any{"remote": conn.RemoteAddr().String()})
 		go func() {
-			defer conn.Close()
-			if err := handleConn(conn, sw); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				log.Printf("ofconn: connection from %v ended: %v", conn.RemoteAddr(), err)
+			defer func() {
+				conn.Close()
+				tel.active.Add(-1)
+				tel.tracer.Instant("ofconn.close", "", map[string]any{"remote": conn.RemoteAddr().String()})
+			}()
+			if err := handleConn(conn, sw, tel); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				tel.connErrs.Add(1)
+				lg.Printf("ofconn: connection from %v ended: %v", conn.RemoteAddr(), err)
 			}
 		}()
 	}
@@ -40,19 +100,22 @@ func Serve(ln net.Listener, sw *switchsim.Switch) error {
 
 // handleConn runs the per-connection agent loop: an initial HELLO, then a
 // strict request→replies cycle driven by the switch's Handle method.
-func handleConn(conn net.Conn, sw *switchsim.Switch) error {
+func handleConn(conn net.Conn, sw *switchsim.Switch, tel serverTelemetry) error {
 	if err := openflow.WriteMessage(conn, &openflow.Hello{}); err != nil {
 		return err
 	}
+	tel.msgsOut.Add(1)
 	for {
 		msg, err := openflow.ReadMessage(conn)
 		if err != nil {
 			return err
 		}
+		tel.msgsIn.Add(1)
 		for _, reply := range sw.Handle(msg) {
 			if err := openflow.WriteMessage(conn, reply); err != nil {
 				return err
 			}
+			tel.msgsOut.Add(1)
 		}
 	}
 }

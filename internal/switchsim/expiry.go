@@ -74,6 +74,10 @@ func (s *Switch) expireLocked(now time.Time) {
 		s.noteRemoved(r, reasons[i], now)
 		s.removeRule(r)
 		s.stats.Expirations++
+		s.tel.expirations.Add(1)
+	}
+	if len(victims) > 0 && s.tel.enabled() {
+		s.updateOccupancy()
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"tango/internal/openflow"
 	"tango/internal/packet"
 	"tango/internal/simclock"
+	"tango/internal/telemetry"
 )
 
 // PathKind identifies the forwarding tier a frame traversed.
@@ -133,6 +134,7 @@ type Switch struct {
 	config openflow.SwitchConfig
 
 	stats Stats
+	tel   switchTelemetry
 }
 
 // Option configures a Switch.
@@ -172,6 +174,9 @@ func New(p Profile, opts ...Option) *Switch {
 		s.software = &flowtable.Table{Capacity: p.softwareCap()}
 		s.kernel = make(map[packet.FiveTuple]*kernelEntry)
 	}
+	// Bind to the process-wide default telemetry (a no-op unless a command
+	// installed one); WithTelemetry overrides it below.
+	s.tel.init(telemetry.Default(), telemetry.DefaultTracer(), p.Name)
 	for _, o := range opts {
 		o(s)
 	}
@@ -244,24 +249,29 @@ func (s *Switch) RuleCount() (tcam, kernel, software int) {
 func (s *Switch) FlowMod(fm *openflow.FlowMod) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := s.clock.Now()
 	s.stats.FlowMods++
-	s.expireLocked(s.clock.Now())
+	s.tel.flowMods.Add(1)
+	s.expireLocked(now)
 	// Operation-class change flushes the agent's homogeneous batch.
 	class := opClass(fm.Command)
 	if s.haveLastOp && class != s.lastOpClass {
 		s.clock.Sleep(s.profile.Costs.opCost(s.rng, s.profile.Costs.TypeSwitchDelta))
 	}
 	s.lastOpClass, s.haveLastOp = class, true
+	var err error
 	switch fm.Command {
 	case openflow.FlowAdd:
-		return s.add(fm)
+		err = s.add(fm)
 	case openflow.FlowModify, openflow.FlowModifyStrict:
-		return s.modify(fm)
+		err = s.modify(fm)
 	case openflow.FlowDelete, openflow.FlowDeleteStrict:
-		return s.delete(fm)
+		err = s.delete(fm)
 	default:
-		return fmt.Errorf("switchsim: unsupported flow-mod command %v", fm.Command)
+		err = fmt.Errorf("switchsim: unsupported flow-mod command %v", fm.Command)
 	}
+	s.noteFlowModDone(now, fm, err)
+	return err
 }
 
 // opClass folds strict/non-strict command variants into add/mod/del.
@@ -429,6 +439,7 @@ func (s *Switch) demote(victim *entry) bool {
 	}
 	victim.inTCAM = false
 	s.stats.Evictions++
+	s.tel.evictions.Add(1)
 	return true
 }
 
@@ -450,6 +461,7 @@ func (s *Switch) promote(e *entry) bool {
 	}
 	e.inTCAM = true
 	s.stats.Promotions++
+	s.tel.promotions.Add(1)
 	return true
 }
 
@@ -590,6 +602,7 @@ func (s *Switch) SendPacketN(data []byte, inPort uint16, n int) (Result, error) 
 		return Result{}, err
 	}
 	s.stats.PacketsSeen += uint64(n)
+	s.tel.packets.Add(int64(n))
 	res := s.pipeline(f, inPort, len(data))
 	if n > 1 {
 		// Account the remaining n-1 touches on the matched rule.
@@ -608,6 +621,9 @@ func (s *Switch) SendPacketN(data []byte, inPort uint16, n int) (Result, error) 
 		s.clock.Sleep(time.Duration(n-1) * res.RTT)
 	}
 	s.clock.Sleep(res.RTT)
+	if s.tel.enabled() {
+		s.updateOccupancy() // data traffic promotes/evicts/caches entries
+	}
 	return res, nil
 }
 
@@ -628,13 +644,16 @@ func (s *Switch) hardwarePipeline(f *packet.Frame, inPort uint16, size int, now 
 		s.touch(e, r, size, now)
 		if isController(r) {
 			s.stats.ControlMiss++
+			s.tel.controlMiss.Add(1)
 			return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng), Rule: r}
 		}
 		path, dist := s.tcamTier(r)
 		if path == PathFast {
 			s.stats.FastHits++
+			s.tel.fastHits.Add(1)
 		} else {
 			s.stats.MidHits++
+			s.tel.midHits.Add(1)
 		}
 		return Result{Path: path, RTT: dist.Sample(s.rng), OutPort: outPort(r), Rule: r}
 	}
@@ -645,13 +664,16 @@ func (s *Switch) hardwarePipeline(f *packet.Frame, inPort uint16, size int, now 
 			s.maybePromote(e)
 			if isController(r) {
 				s.stats.ControlMiss++
+				s.tel.controlMiss.Add(1)
 				return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng), Rule: r}
 			}
 			s.stats.SlowHits++
+			s.tel.slowHits.Add(1)
 			return Result{Path: PathSlow, RTT: s.profile.SlowPath.Sample(s.rng), OutPort: outPort(r), Rule: r}
 		}
 	}
 	s.stats.ControlMiss++
+	s.tel.controlMiss.Add(1)
 	return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng)}
 }
 
@@ -703,9 +725,11 @@ func (s *Switch) microflowPipeline(f *packet.Frame, inPort uint16, size int, now
 			r := ke.owner.rule
 			if isController(r) {
 				s.stats.ControlMiss++
+				s.tel.controlMiss.Add(1)
 				return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng), Rule: r}
 			}
 			s.stats.FastHits++
+			s.tel.fastHits.Add(1)
 			return Result{Path: PathFast, RTT: s.profile.FastPath.Sample(s.rng), OutPort: outPort(r), Rule: r}
 		}
 	}
@@ -714,6 +738,7 @@ func (s *Switch) microflowPipeline(f *packet.Frame, inPort uint16, size int, now
 		s.touch(e, r, size, now)
 		if isController(r) {
 			s.stats.ControlMiss++
+			s.tel.controlMiss.Add(1)
 			return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng), Rule: r}
 		}
 		// Install the exact-match microflow entry so the flow's next packet
@@ -723,9 +748,11 @@ func (s *Switch) microflowPipeline(f *packet.Frame, inPort uint16, size int, now
 			s.evictKernelIfNeeded()
 		}
 		s.stats.SlowHits++
+		s.tel.slowHits.Add(1)
 		return Result{Path: PathSlow, RTT: s.profile.SlowPath.Sample(s.rng), OutPort: outPort(r), Rule: r}
 	}
 	s.stats.ControlMiss++
+	s.tel.controlMiss.Add(1)
 	return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng)}
 }
 
@@ -746,6 +773,7 @@ func (s *Switch) evictKernelIfNeeded() {
 	if victim != nil {
 		delete(s.kernel, victimKey)
 		s.stats.Evictions++
+		s.tel.evictions.Add(1)
 	}
 }
 

@@ -1,0 +1,32 @@
+package telemetry
+
+// cli.go holds the one-call setup the commands share: bind fresh process
+// defaults when the user asked for an export file, and hand back a flush
+// function that writes the files when the run finishes.
+
+// Setup installs a new Registry and Tracer as the process defaults when
+// metricsPath or tracePath is non-empty, so components constructed afterwards
+// (engines, switches, scheduler runs) bind to them automatically. The
+// returned flush writes the requested files; it is never nil. When both
+// paths are empty nothing is installed and flush is a no-op.
+func Setup(metricsPath, tracePath string) (flush func() error) {
+	if metricsPath == "" && tracePath == "" {
+		return func() error { return nil }
+	}
+	reg := NewRegistry()
+	tr := NewTracer(nil)
+	SetDefault(reg, tr)
+	return func() error {
+		if metricsPath != "" {
+			if err := reg.WriteFile(metricsPath); err != nil {
+				return err
+			}
+		}
+		if tracePath != "" {
+			if err := tr.WriteFile(tracePath); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,68 @@
+// Package telemetry is the repository's dependency-free metrics and tracing
+// toolkit. It exists because Tango's whole premise is measurement — the
+// controller infers switch properties from rule-installation latencies and
+// RTT distributions — yet without this package the reproduction could not
+// observe its own behaviour: how many probes an inference spent, how
+// scheduler batches overlapped in virtual time, or where a slow run burned
+// its budget.
+//
+// # Dual clocks
+//
+// The repository runs on two clocks: experiments and benchmarks advance a
+// virtual clock (internal/simclock) so emulated switch latencies cost no
+// wall time, while the TCP path measures real time. Telemetry understands
+// both. Every trace span carries a virtual timestamp and duration (the
+// timeline Perfetto renders) plus the wall-clock instant it was recorded
+// (kept in the span's args), so a scheduler run that finished in
+// milliseconds of wall time can still be inspected on its simulated
+// multi-second timeline.
+//
+// # Metrics
+//
+// A Registry owns named Counters, Gauges and Histograms. Handles are looked
+// up once at construction time and then recorded through directly:
+//
+//	reg := telemetry.NewRegistry()
+//	probes := reg.Counter("probe.probes_sent")
+//	rtt := reg.Histogram("probe.rtt_ns")
+//	...
+//	probes.Add(1)
+//	rtt.Observe(float64(d))
+//
+// The record path is an atomic fast path with no allocation, cheap enough
+// for the switch emulator's per-packet pipeline. Every handle type is
+// nil-safe: a nil *Registry returns nil handles and every method on a nil
+// handle (or nil *Tracer / *Span) is a no-op, so instrumented code carries
+// zero conditional clutter and, with telemetry disabled, costs only a nil
+// check.
+//
+// Histograms keep fixed buckets plus a ring of the most recent observations;
+// snapshots derive quantile summaries (p50/p90/p99) from the ring with
+// internal/stats.Percentile.
+//
+// # Tracing
+//
+// A Tracer records spans ("probe.round", "sched.batch", "switch.flowmod",
+// "infer.size", …) and instant events on named tracks and exports them as
+// Chrome trace_event JSON via WriteTrace, loadable in about:tracing or
+// https://ui.perfetto.dev. Tracks map to trace threads, so each switch in a
+// scheduling run renders as its own swim lane.
+//
+// # Process-wide default
+//
+// Deeply nested code (the experiment drivers construct their own switches
+// and engines) binds to the process-wide default registry and tracer when
+// none is injected explicitly. SetDefault, called by a command's main before
+// any instrumented object is built, therefore lights up the entire pipeline;
+// when it is never called the defaults stay nil and everything remains a
+// no-op. This is how `tangobench -metrics-out` and `tangosched -trace-out`
+// capture metrics from the unmodified experiment drivers.
+//
+// # Exporters
+//
+//   - Registry.WriteJSON / Registry.WriteFile: one JSON snapshot of every
+//     metric.
+//   - Tracer.WriteTrace / Tracer.WriteFile: Chrome trace_event JSON.
+//   - Handler: an expvar-style HTTP endpoint serving both (wired into
+//     cmd/switchd behind the -telemetry flag).
+package telemetry

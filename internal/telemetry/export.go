@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry, shaped
+// for JSON export.
+type Snapshot struct {
+	TakenAt    time.Time                    `json:"taken_at"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state. A nil registry yields an
+// empty (but non-nil) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		TakenAt:    time.Now(),
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range metricNames(r.counters) {
+		s.Counters[n] = r.counters[n].Value()
+	}
+	for _, n := range metricNames(r.gauges) {
+		s.Gauges[n] = r.gauges[n].Value()
+	}
+	for _, n := range metricNames(r.hists) {
+		s.Histograms[n] = r.hists[n].Snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteFile writes the registry snapshot to path.
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: metrics snapshot: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: metrics snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: metrics snapshot: %w", err)
+	}
+	return nil
+}
+
+// traceEvent is one Chrome trace_event object.
+// See the Trace Event Format spec (docs.google.com/document/d/1CvAClvFfyA5R-
+// PhYUmn5OOQtYMH4h6I0nSsKchNAySU); the subset emitted here loads in both
+// about:tracing and Perfetto.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object flavour of the trace format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace exports the retained events as Chrome trace_event JSON. The
+// timeline is virtual time, rebased so the earliest event sits at t=0; each
+// event's wall-clock instant rides along in its args. Tracks map to
+// trace-viewer threads with their names attached as metadata.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	events := t.Events()
+	out := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+
+	var base time.Time
+	for _, ev := range events {
+		if base.IsZero() || ev.Virt.Before(base) {
+			base = ev.Virt
+		}
+	}
+	tids := map[string]int{"": 0}
+	out.TraceEvents = append(out.TraceEvents,
+		traceEvent{Name: "process_name", Phase: "M", PID: 1, Args: map[string]any{"name": "tango"}},
+		traceEvent{Name: "thread_name", Phase: "M", PID: 1, TID: 0, Args: map[string]any{"name": "main"}},
+	)
+	for _, ev := range events {
+		tid, ok := tids[ev.Track]
+		if !ok {
+			tid = len(tids)
+			tids[ev.Track] = tid
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+				Args: map[string]any{"name": ev.Track},
+			})
+		}
+		args := map[string]any{"wall": ev.Wall.Format(time.RFC3339Nano)}
+		for k, v := range ev.Args {
+			args[k] = v
+		}
+		te := traceEvent{
+			Name:  ev.Name,
+			Cat:   "tango",
+			Phase: string(ev.Phase),
+			TS:    float64(ev.Virt.Sub(base)) / float64(time.Microsecond),
+			PID:   1,
+			TID:   tid,
+			Args:  args,
+		}
+		if ev.Phase == 'X' {
+			dur := float64(ev.VirtDur) / float64(time.Microsecond)
+			te.Dur = &dur
+		} else {
+			te.Scope = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteFile writes the trace to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: trace export: %w", err)
+	}
+	if err := t.WriteTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: trace export: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: trace export: %w", err)
+	}
+	return nil
+}
+
+// Handler returns an expvar-style HTTP handler exposing the registry and
+// tracer:
+//
+//	GET /metrics  — JSON metrics snapshot
+//	GET /trace    — Chrome trace_event JSON of the spans recorded so far
+//	GET /         — plain-text index
+//
+// Either argument may be nil, in which case the corresponding endpoint
+// serves an empty document.
+func Handler(r *Registry, t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WriteTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "tango telemetry\n  /metrics  JSON metrics snapshot\n  /trace    Chrome trace_event JSON (open in ui.perfetto.dev)")
+	})
+	return mux
+}

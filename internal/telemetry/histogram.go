@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"tango/internal/stats"
+)
+
+// DefBuckets are the default histogram boundaries, tuned for durations in
+// nanoseconds: roughly logarithmic from 1µs to 100s, which covers everything
+// from a fast-path RTT sample to a whole scheduling run's makespan.
+var DefBuckets = []float64{
+	1e3, 2.5e3, 5e3, // 1µs .. 5µs
+	1e4, 2.5e4, 5e4, // 10µs .. 50µs
+	1e5, 2.5e5, 5e5, // 100µs .. 500µs
+	1e6, 2.5e6, 5e6, // 1ms .. 5ms
+	1e7, 2.5e7, 5e7, // 10ms .. 50ms
+	1e8, 2.5e8, 5e8, // 100ms .. 500ms
+	1e9, 2.5e9, 5e9, // 1s .. 5s
+	1e10, 2.5e10, 5e10, // 10s .. 50s
+	1e11, // 100s
+}
+
+// reservoirSize is the per-histogram ring capacity backing quantile
+// summaries. Power of two so the hot path can mask instead of divide.
+const reservoirSize = 1024
+
+// Histogram records a distribution into fixed buckets plus a ring of the
+// most recent reservoirSize observations. Observing is an atomic fast path
+// with no allocation; snapshots pay for sorting. A nil *Histogram is a
+// no-op.
+type Histogram struct {
+	bounds  []float64 // immutable upper bucket boundaries, ascending
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits, CAS-updated
+	min     atomic.Uint64 // float64 bits
+	max     atomic.Uint64 // float64 bits
+	ring    [reservoirSize]atomic.Uint64
+	ringN   atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	h := &Histogram{
+		bounds:  bounds,
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	casAddFloat(&h.sum, v)
+	casFloat(&h.min, v, func(cur float64) bool { return v < cur })
+	casFloat(&h.max, v, func(cur float64) bool { return v > cur })
+	h.buckets[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	slot := (h.ringN.Add(1) - 1) & (reservoirSize - 1)
+	h.ring[slot].Store(math.Float64bits(v))
+}
+
+// ObserveDuration records a duration sample in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d)) }
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// casAddFloat atomically adds v to the float64 stored in a's bits.
+func casAddFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if a.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// casFloat atomically replaces the float64 in a when better(current) holds.
+func casFloat(a *atomic.Uint64, v float64, better func(cur float64) bool) {
+	for {
+		old := a.Load()
+		if !better(math.Float64frombits(old)) {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// BucketCount is one cumulative-free histogram bucket: the number of
+// observations v with prevLE < v ≤ LE. The final bucket has LE = +Inf.
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram. Quantiles
+// are estimated from the ring of recent observations.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Min     float64       `json:"min"`
+	Max     float64       `json:"max"`
+	Mean    float64       `json:"mean"`
+	P50     float64       `json:"p50"`
+	P90     float64       `json:"p90"`
+	P99     float64       `json:"p99"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot summarises the histogram. Empty histograms report all zeros.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: n,
+		Sum:   math.Float64frombits(h.sum.Load()),
+		Min:   math.Float64frombits(h.min.Load()),
+		Max:   math.Float64frombits(h.max.Load()),
+	}
+	s.Mean = s.Sum / float64(n)
+	held := h.ringN.Load()
+	if held > reservoirSize {
+		held = reservoirSize
+	}
+	sample := make([]float64, held)
+	for i := range sample {
+		sample[i] = math.Float64frombits(h.ring[i].Load())
+	}
+	s.P50, _ = stats.Percentile(sample, 50)
+	s.P90, _ = stats.Percentile(sample, 90)
+	s.P99, _ = stats.Percentile(sample, 99)
+	s.Buckets = make([]BucketCount, 0, len(h.buckets))
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue // keep snapshots small: most duration buckets are empty
+		}
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, BucketCount{LE: le, Count: c})
+	}
+	return s
+}

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultSpanLimit caps how many events a tracer retains before it starts
+// dropping (counting the drops). Large scheduler runs can emit one span per
+// flow-mod; the cap bounds memory without failing the run.
+const DefaultSpanLimit = 1 << 16
+
+// SpanEvent is one recorded span or instant event, stamped on both clocks:
+// Virt/VirtDur place it on the simulated timeline (the one trace viewers
+// render), Wall records when it really happened.
+type SpanEvent struct {
+	// Name is the event name, e.g. "sched.batch".
+	Name string
+	// Track groups events into trace-viewer threads ("" is the main track);
+	// scheduler batches use the switch name so each switch gets a lane.
+	Track string
+	// Phase is 'X' for complete spans, 'i' for instant events.
+	Phase byte
+	// Virt is the virtual start instant, VirtDur the virtual duration.
+	Virt    time.Time
+	VirtDur time.Duration
+	// Wall is the wall-clock instant the event was recorded.
+	Wall time.Time
+	// Args carries event metadata into the trace viewer.
+	Args map[string]any
+}
+
+// Tracer collects span events. All methods are safe for concurrent use, and
+// a nil *Tracer (or nil *Span) is a no-op, so tracing instrumentation can be
+// left in place unconditionally.
+type Tracer struct {
+	virtNow func() time.Time
+
+	mu      sync.Mutex
+	limit   int
+	events  []SpanEvent
+	dropped int64
+}
+
+// NewTracer returns a tracer. virtNow supplies the virtual clock for spans
+// started with Start and for Instant events; nil means spans are stamped
+// with wall time on both clocks (appropriate for purely wall-clock
+// processes such as the TCP daemon). Events recorded through Record carry
+// their own virtual timestamps and ignore virtNow.
+func NewTracer(virtNow func() time.Time) *Tracer {
+	return &Tracer{virtNow: virtNow, limit: DefaultSpanLimit}
+}
+
+// SetLimit changes the retained-event cap (minimum 1).
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+func (t *Tracer) now() (virt, wall time.Time) {
+	wall = time.Now()
+	if t.virtNow != nil {
+		return t.virtNow(), wall
+	}
+	return wall, wall
+}
+
+func (t *Tracer) append(ev SpanEvent) {
+	t.mu.Lock()
+	if len(t.events) >= t.limit {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Record adds a complete span with an explicit virtual start and duration —
+// the form used by components that own their own clock (the switch emulator,
+// the scheduler's composed makespan timeline). args may be nil; the map is
+// retained, so callers must not reuse it.
+func (t *Tracer) Record(name, track string, virtStart time.Time, virtDur time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(SpanEvent{
+		Name: name, Track: track, Phase: 'X',
+		Virt: virtStart, VirtDur: virtDur, Wall: time.Now(), Args: args,
+	})
+}
+
+// Instant adds a zero-duration event at the current time.
+func (t *Tracer) Instant(name, track string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	virt, wall := t.now()
+	t.append(SpanEvent{Name: name, Track: track, Phase: 'i', Virt: virt, Wall: wall, Args: args})
+}
+
+// Span is an in-flight span created by Start; End records it.
+type Span struct {
+	t         *Tracer
+	name      string
+	track     string
+	virtStart time.Time
+	wallStart time.Time
+	args      map[string]any
+}
+
+// Start begins a span on the tracer's clocks. Returns nil (safe to use) on
+// a nil tracer.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	virt, wall := t.now()
+	return &Span{t: t, name: name, virtStart: virt, wallStart: wall}
+}
+
+// OnTrack moves the span onto the named track. Returns s for chaining.
+func (s *Span) OnTrack(track string) *Span {
+	if s != nil {
+		s.track = track
+	}
+	return s
+}
+
+// Arg attaches one key/value of metadata. Returns s for chaining.
+func (s *Span) Arg(key string, v any) *Span {
+	if s != nil {
+		if s.args == nil {
+			s.args = map[string]any{}
+		}
+		s.args[key] = v
+	}
+	return s
+}
+
+// End completes and records the span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	virt, _ := s.t.now()
+	s.t.append(SpanEvent{
+		Name: s.name, Track: s.track, Phase: 'X',
+		Virt: s.virtStart, VirtDur: virt.Sub(s.virtStart),
+		Wall: s.wallStart, Args: s.args,
+	})
+}
+
+// Events returns a copy of the retained events.
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanEvent(nil), t.events...)
+}
+
+// Dropped returns how many events the cap discarded.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all retained events and the drop count.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events, t.dropped = nil, 0
+	t.mu.Unlock()
+}
