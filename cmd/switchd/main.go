@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"os"
 
+	"tango/internal/faults"
 	"tango/internal/ofconn"
 	"tango/internal/simclock"
 	"tango/internal/switchsim"
@@ -34,12 +35,18 @@ func main() {
 		defaultRoute = flag.Bool("default-route", false, "pre-install the punt-to-controller default route")
 		seed         = flag.Int64("seed", 42, "latency model RNG seed")
 		telemAddr    = flag.String("telemetry", "", "serve /metrics and /trace over HTTP on this address (e.g. 127.0.0.1:8080)")
+		faultSpec    = flag.String("faults", "", `inject control-channel faults, e.g. "drop=0.01,delay=0.05,seed=7" (kinds: drop, delay, duplicate, reorder, reset, overflow)`)
 	)
 	flag.Parse()
 
 	prof, err := profileByName(*profile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	faultCfg, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "switchd: -faults: %v\n", err)
 		os.Exit(2)
 	}
 	var serveOpts ofconn.ServeOptions
@@ -63,6 +70,12 @@ func main() {
 		opts = append(opts, switchsim.WithDefaultRoute())
 	}
 	sw := switchsim.New(prof, opts...)
+	// Built after the telemetry setup so the fault counters land in the
+	// registry the HTTP endpoint serves.
+	serveOpts.Faults = faults.NewInjector(faultCfg)
+	if serveOpts.Faults != nil {
+		log.Printf("switchd: injecting faults: %s", faultCfg)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"tango/internal/experiments"
+	"tango/internal/faults"
 	"tango/internal/telemetry"
 )
 
@@ -28,7 +29,7 @@ type experiment struct {
 	run  func(runs int) []fmt.Stringer
 }
 
-func catalog() []experiment {
+func catalog(faultSpec string) []experiment {
 	tab := func(f func() *experiments.Table) func(int) []fmt.Stringer {
 		return func(int) []fmt.Stringer { return []fmt.Stringer{f()} }
 	}
@@ -77,6 +78,15 @@ func catalog() []experiment {
 		{"f12", "Figure 12: B4 TE on OVS", func(int) []fmt.Stringer {
 			return []fmt.Stringer{experiments.Figure12(0)}
 		}},
+		{"conformance", "Ground-truth inference conformance harness (honours -faults)", func(int) []fmt.Stringer {
+			t, err := experiments.Conformance(24, 1, faultSpec)
+			if err != nil {
+				// The spec was validated in main; this is unreachable.
+				fmt.Fprintf(os.Stderr, "tangobench: %v\n", err)
+				os.Exit(1)
+			}
+			return []fmt.Stringer{t}
+		}},
 	}
 }
 
@@ -88,8 +98,14 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		metricsOut = flag.String("metrics-out", "", "write a telemetry metrics snapshot (JSON) to this file")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event file (JSON) to this file")
+		faultSpec  = flag.String("faults", "", `control-channel fault spec for the conformance experiment, e.g. "drop=0.01,delay=0.05,seed=7" (see internal/faults)`)
 	)
 	flag.Parse()
+
+	if _, err := faults.ParseSpec(*faultSpec); err != nil {
+		fmt.Fprintf(os.Stderr, "tangobench: -faults: %v\n", err)
+		os.Exit(2)
+	}
 
 	// Validate output destinations before burning minutes of experiment
 	// time, so a typo'd path fails immediately instead of at the end.
@@ -112,7 +128,7 @@ func main() {
 	}
 	flush := telemetry.Setup(*metricsOut, *traceOut)
 
-	cat := catalog()
+	cat := catalog(*faultSpec)
 	if *list {
 		for _, e := range cat {
 			fmt.Printf("%-10s %s\n", e.id, e.desc)

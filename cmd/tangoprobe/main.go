@@ -39,6 +39,8 @@ func main() {
 		channel  = flag.Bool("channel", false, "also run the Oflops-style channel benchmark")
 		metrics  = flag.String("metrics-out", "", "write a telemetry metrics snapshot (JSON) to this file")
 		trace    = flag.String("trace-out", "", "write a Chrome trace_event file (JSON) to this file")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-reply timeout for -connect (0 = wait forever)")
+		retry    = flag.Bool("retry", true, "retry transient channel failures for -connect (bounded backoff)")
 	)
 	flag.Parse()
 
@@ -47,18 +49,22 @@ func main() {
 	flush := telemetry.Setup(*metrics, *trace)
 
 	var (
-		dev  tango.Device
-		name string
+		dev      tango.Device
+		name     string
+		hardened probe.Retry
 	)
 	switch {
 	case *connect != "":
-		c, err := ofconn.Dial(*connect)
+		c, err := ofconn.DialOptions(*connect, ofconn.ControllerOptions{Timeout: *timeout})
 		if err != nil {
 			log.Fatalf("tangoprobe: %v", err)
 		}
 		defer c.Close()
 		name = fmt.Sprintf("dpid-%#x", c.Features().DatapathID)
 		dev = c
+		if *retry {
+			hardened = probe.DefaultRetry
+		}
 	case *profile != "":
 		prof, err := byName(*profile)
 		if err != nil {
@@ -87,6 +93,7 @@ func main() {
 		Seed:       *seed,
 		MaxRules:   *maxRules,
 		SkipPolicy: *skipPol,
+		Retry:      hardened,
 	})
 	if err != nil {
 		log.Fatalf("tangoprobe: %v", err)

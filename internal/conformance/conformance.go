@@ -1,0 +1,324 @@
+// Package conformance is the ground-truth regression gate for Tango's
+// inference pipeline: it generates randomized switchsim profiles whose true
+// properties (table layer sizes, LEX cache policies, cost curves) are
+// known, runs the full probe→infer pipeline against each — optionally
+// through the deterministic fault injector — and scores how accurately the
+// pipeline recovered the truth.
+//
+// The clean-channel contract (asserted by the package tests and runnable
+// via `tangobench -only conformance`): size estimates land within 10% of
+// the configured capacity and cache policies are recovered exactly. Under
+// injected faults the contract weakens to convergence: every run either
+// produces estimates or fails with a typed fault error — never a hang or a
+// panic — and is bit-for-bit reproducible from its seed.
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tango/internal/core/infer"
+	"tango/internal/core/probe"
+	"tango/internal/faults"
+	"tango/internal/switchsim"
+)
+
+// Spec is one randomized ground-truth profile to be recovered.
+type Spec struct {
+	// Name labels the spec in results and tables.
+	Name string
+	// Profile is the generated switch configuration.
+	Profile switchsim.Profile
+	// CacheSize is the true capacity of the fastest layer.
+	CacheSize int
+	// Policy is the true cache policy; empty Keys for TCAM-only specs,
+	// which skip the policy-recovery check.
+	Policy switchsim.Policy
+	// Seed drives the switch's latency draws and the probe RNGs.
+	Seed int64
+}
+
+// GenerateSpecs draws n randomized specs from seed. Every fourth spec is a
+// TCAM-only hierarchy (two observable layers: hardware and punt); the rest
+// are policy-cache hierarchies (three layers) with a random LEX composite.
+// Generation is a pure function of (n, seed).
+func GenerateSpecs(n int, seed int64) []Spec {
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]Spec, 0, n)
+	for i := 0; i < n; i++ {
+		if i%4 == 3 {
+			capacity := 64 + rng.Intn(192)
+			p := switchsim.TestSwitch(capacity, switchsim.Policy{})
+			p.Kind = switchsim.ManageTCAMOnly
+			p.SoftwareCapacity = 0
+			p.Name = fmt.Sprintf("conf-%02d-tcam-%d", i, capacity)
+			scaleCosts(&p, rng)
+			specs = append(specs, Spec{
+				Name: p.Name, Profile: p, CacheSize: capacity, Seed: rng.Int63(),
+			})
+			continue
+		}
+		cache := 48 + rng.Intn(81)
+		policy := randomPolicy(rng)
+		p := switchsim.TestSwitch(cache, policy)
+		// A bounded software table makes the doubling phase terminate with a
+		// genuine table-full rejection, keeping each spec's probe budget at
+		// a few times the cache size.
+		p.SoftwareCapacity = 3 * cache
+		p.Name = fmt.Sprintf("conf-%02d-cache-%d", i, cache)
+		scaleCosts(&p, rng)
+		specs = append(specs, Spec{
+			Name: p.Name, Profile: p, CacheSize: cache, Policy: policy, Seed: rng.Int63(),
+		})
+	}
+	return specs
+}
+
+// randomPolicy draws an identifiable LEX composite: up to two non-serial
+// prefix keys (traffic, priority — random subset, order, and direction)
+// terminated by a serial key. The serial terminator is what makes the
+// ground truth recoverable at all: switchsim's Better() breaks exhausted
+// comparisons by insertion order, so a policy without a serial key would
+// behave like one with an implicit insertion terminator and Algorithm 2
+// would (correctly) report that longer ordering. Use-time keeps its
+// recently-used direction — an anti-LRU cache is perturbed by the very act
+// of measuring it, which violates the paper's MONOTONE observability
+// assumption rather than our implementation.
+func randomPolicy(rng *rand.Rand) switchsim.Policy {
+	nonSerial := []switchsim.Attribute{switchsim.AttrTraffic, switchsim.AttrPriority}
+	order := rng.Perm(len(nonSerial))
+	var keys []switchsim.SortKey
+	for _, idx := range order[:rng.Intn(len(nonSerial)+1)] {
+		keys = append(keys, switchsim.SortKey{
+			Attr:         nonSerial[idx],
+			HighIsBetter: rng.Intn(2) == 0,
+		})
+	}
+	serial := switchsim.SortKey{Attr: switchsim.AttrInsertion, HighIsBetter: rng.Intn(2) == 0}
+	if rng.Intn(2) == 0 {
+		serial = switchsim.SortKey{Attr: switchsim.AttrUseTime, HighIsBetter: true}
+	}
+	keys = append(keys, serial)
+	return switchsim.Policy{Keys: keys}
+}
+
+// scaleCosts randomizes the profile's cost curves and latency tiers within
+// bands that keep the tiers separable, so the harness also covers switches
+// whose absolute timings differ from the calibrated vendor models.
+func scaleCosts(p *switchsim.Profile, rng *rand.Rand) {
+	scale := func(d time.Duration, lo, hi float64) time.Duration {
+		return time.Duration(float64(d) * (lo + rng.Float64()*(hi-lo)))
+	}
+	p.FastPath.Mean = scale(p.FastPath.Mean, 0.7, 1.3)
+	p.SlowPath.Mean = scale(p.SlowPath.Mean, 0.8, 1.4)
+	p.ControlPath.Mean = scale(p.ControlPath.Mean, 0.9, 1.3)
+	p.Costs.AddBase = scale(p.Costs.AddBase, 0.6, 1.8)
+	p.Costs.ModBase = scale(p.Costs.ModBase, 0.6, 1.8)
+	p.Costs.DelBase = scale(p.Costs.DelBase, 0.6, 1.8)
+	p.Costs.ShiftUnit = scale(p.Costs.ShiftUnit, 0.5, 2.0)
+}
+
+// Options configures a conformance run.
+type Options struct {
+	// Faults enables the injector; the zero value probes a clean channel.
+	Faults faults.Config
+	// Retry is the probe engine's hardening policy. Zero selects
+	// probe.DefaultRetry when faults are enabled, single-attempt otherwise.
+	Retry probe.Retry
+	// SizeTolerance is the accepted relative size error; 0 means 0.10.
+	SizeTolerance float64
+}
+
+func (o Options) tolerance() float64 {
+	if o.SizeTolerance == 0 {
+		return 0.10
+	}
+	return o.SizeTolerance
+}
+
+// Result is one spec's recovery outcome.
+type Result struct {
+	Spec Spec
+	// Err is the pipeline failure, nil when both stages converged.
+	Err error
+	// FaultTyped reports that Err is a typed fault-path error (injected
+	// fault, exhausted retry budget, or timeout) rather than an organic
+	// failure — the "fail cleanly" half of the fault-regime contract.
+	FaultTyped bool
+	// SizeEstimate is the fastest layer's inferred size.
+	SizeEstimate int
+	// SizeError is |estimate−truth|/truth.
+	SizeError float64
+	// SizeOK reports SizeError within tolerance.
+	SizeOK bool
+	// InferredPolicy is Algorithm 2's answer (policy-cache specs only).
+	InferredPolicy switchsim.Policy
+	// PolicyChecked distinguishes specs where policy recovery applies.
+	PolicyChecked bool
+	// PolicyOK reports exact recovery of the true key sequence.
+	PolicyOK bool
+	// Resets counts injected switch resets observed by the emulator.
+	Resets uint64
+}
+
+// String renders one result row.
+func (r Result) String() string {
+	if r.Err != nil {
+		kind := "organic"
+		if r.FaultTyped {
+			kind = "typed fault"
+		}
+		return fmt.Sprintf("%s: error (%s): %v", r.Spec.Name, kind, r.Err)
+	}
+	s := fmt.Sprintf("%s: size %d/%d (err %.1f%%)", r.Spec.Name, r.SizeEstimate, r.Spec.CacheSize, 100*r.SizeError)
+	if r.PolicyChecked {
+		ok := "exact"
+		if !r.PolicyOK {
+			ok = "WRONG: " + r.InferredPolicy.String()
+		}
+		s += fmt.Sprintf(", policy %s (%s)", r.Spec.Policy, ok)
+	}
+	return s
+}
+
+// RunSpec executes the probe→infer pipeline against one spec. The policy
+// stage consumes the size stage's estimate — the pipeline wiring of
+// Figure 4 — and runs against a freshly built switch so leftover probe
+// rules from the size stage cannot masquerade as cache residents.
+func RunSpec(spec Spec, opts Options) Result {
+	res := Result{Spec: spec}
+	inj := faults.NewInjector(opts.Faults)
+	retry := opts.Retry
+	if retry.MaxAttempts <= 1 && inj != nil {
+		retry = probe.DefaultRetry
+	}
+	engine := func(sw *switchsim.Switch) *probe.Engine {
+		e := probe.NewEngine(faults.WrapDevice(probe.SimDevice{S: sw}, inj))
+		e.Retry = retry
+		return e
+	}
+
+	swSize := switchsim.New(spec.Profile, switchsim.WithSeed(spec.Seed))
+	sres, err := infer.ProbeSizes(engine(swSize), infer.SizeOptions{
+		Seed:     spec.Seed + 1,
+		MaxRules: 8 * spec.CacheSize,
+	})
+	res.Resets += swSize.Stats().Resets
+	if err != nil {
+		res.Err = fmt.Errorf("size stage: %w", err)
+		res.FaultTyped = faultTyped(err)
+		return res
+	}
+	res.SizeEstimate = sres.Levels[0].Size
+	res.SizeError = relError(res.SizeEstimate, spec.CacheSize)
+	res.SizeOK = res.SizeError <= opts.tolerance()
+
+	if spec.Profile.Kind != switchsim.ManagePolicyCache {
+		return res
+	}
+	res.PolicyChecked = true
+	swPol := switchsim.New(spec.Profile, switchsim.WithSeed(spec.Seed+2))
+	pres, err := infer.ProbePolicy(engine(swPol), infer.PolicyOptions{
+		CacheSize: res.SizeEstimate,
+		Seed:      spec.Seed + 3,
+	})
+	res.Resets += swPol.Stats().Resets
+	if err != nil {
+		res.Err = fmt.Errorf("policy stage: %w", err)
+		res.FaultTyped = faultTyped(err)
+		return res
+	}
+	res.InferredPolicy = pres.Policy
+	res.PolicyOK = pres.Policy.Equal(spec.Policy)
+	return res
+}
+
+// Run executes every spec in order, sequentially — the decision stream of a
+// shared injector is part of the reproducible state.
+func Run(specs []Spec, opts Options) []Result {
+	out := make([]Result, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, RunSpec(s, opts))
+	}
+	return out
+}
+
+// faultTyped classifies err as a typed fault-path failure: an injected
+// fault, an exhausted retry budget, or anything carrying a Timeout or
+// Transient marker (e.g. ofconn.ErrTimeout).
+func faultTyped(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, faults.ErrInjected) || errors.Is(err, probe.ErrExhausted) {
+		return true
+	}
+	var to interface{ Timeout() bool }
+	if errors.As(err, &to) && to.Timeout() {
+		return true
+	}
+	var tr interface{ Transient() bool }
+	return errors.As(err, &tr)
+}
+
+func relError(est, actual int) float64 {
+	if actual == 0 {
+		return 0
+	}
+	d := est - actual
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) / float64(actual)
+}
+
+// Summary aggregates a run.
+type Summary struct {
+	Profiles      int
+	Converged     int
+	SizeWithinTol int
+	PolicyChecked int
+	PolicyExact   int
+	TypedFaults   int
+	OrganicFails  int
+	MaxSizeError  float64
+}
+
+// Summarize folds results into a Summary.
+func Summarize(rs []Result) Summary {
+	var s Summary
+	s.Profiles = len(rs)
+	for _, r := range rs {
+		if r.Err != nil {
+			if r.FaultTyped {
+				s.TypedFaults++
+			} else {
+				s.OrganicFails++
+			}
+			continue
+		}
+		s.Converged++
+		if r.SizeOK {
+			s.SizeWithinTol++
+		}
+		if r.SizeError > s.MaxSizeError {
+			s.MaxSizeError = r.SizeError
+		}
+		if r.PolicyChecked {
+			s.PolicyChecked++
+			if r.PolicyOK {
+				s.PolicyExact++
+			}
+		}
+	}
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("profiles=%d converged=%d size_ok=%d (max err %.1f%%) policy_ok=%d/%d typed_faults=%d organic_fails=%d",
+		s.Profiles, s.Converged, s.SizeWithinTol, 100*s.MaxSizeError,
+		s.PolicyExact, s.PolicyChecked, s.TypedFaults, s.OrganicFails)
+}

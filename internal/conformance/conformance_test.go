@@ -1,0 +1,144 @@
+package conformance
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"tango/internal/core/probe"
+	"tango/internal/faults"
+	"tango/internal/switchsim"
+)
+
+// cleanSeed fixes the randomized profile generation for the regression
+// gate; changing it invalidates the accuracy expectations below.
+const cleanSeed = 1
+
+// TestGenerateSpecsDeterministic pins generation to (n, seed).
+func TestGenerateSpecsDeterministic(t *testing.T) {
+	a := GenerateSpecs(24, cleanSeed)
+	b := GenerateSpecs(24, cleanSeed)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("GenerateSpecs is not a pure function of (n, seed)")
+	}
+	if len(a) != 24 {
+		t.Fatalf("got %d specs, want 24", len(a))
+	}
+	var tcamOnly, cache int
+	for _, s := range a {
+		switch s.Profile.Kind {
+		case switchsim.ManageTCAMOnly:
+			tcamOnly++
+			if len(s.Policy.Keys) != 0 {
+				t.Errorf("%s: TCAM-only spec carries a policy", s.Name)
+			}
+		case switchsim.ManagePolicyCache:
+			cache++
+			last := s.Policy.Keys[len(s.Policy.Keys)-1]
+			if last.Attr != switchsim.AttrInsertion && last.Attr != switchsim.AttrUseTime {
+				t.Errorf("%s: policy %v does not end in a serial attribute", s.Name, s.Policy)
+			}
+		}
+	}
+	if tcamOnly == 0 || cache == 0 {
+		t.Fatalf("want a mix of kinds, got tcam=%d cache=%d", tcamOnly, cache)
+	}
+}
+
+// TestCleanChannelAccuracy is the headline regression gate: with no faults,
+// ≥20 randomized profiles recover sizes within 10% and policies exactly.
+func TestCleanChannelAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance sweep is slow")
+	}
+	specs := GenerateSpecs(24, cleanSeed)
+	results := Run(specs, Options{})
+	sum := Summarize(results)
+	t.Logf("summary: %s", sum)
+	for _, r := range results {
+		t.Logf("  %s", r)
+		if r.Err != nil {
+			t.Errorf("%s: pipeline failed on a clean channel: %v", r.Spec.Name, r.Err)
+			continue
+		}
+		if !r.SizeOK {
+			t.Errorf("%s: size error %.1f%% exceeds 10%% (est %d, true %d)",
+				r.Spec.Name, 100*r.SizeError, r.SizeEstimate, r.Spec.CacheSize)
+		}
+		if r.PolicyChecked && !r.PolicyOK {
+			t.Errorf("%s: policy %v inferred as %v", r.Spec.Name, r.Spec.Policy, r.InferredPolicy)
+		}
+	}
+}
+
+// TestEachFaultKindConverges runs a subset of specs under each fault kind
+// at a fixed seed: the pipeline must either converge or fail with a typed
+// fault error — never hang, panic, or fail organically.
+func TestEachFaultKindConverges(t *testing.T) {
+	specs := GenerateSpecs(6, cleanSeed)
+	kinds := []struct {
+		name string
+		cfg  faults.Config
+	}{
+		{"drop", faults.Config{Seed: 11, Drop: 0.02}},
+		{"delay", faults.Config{Seed: 12, Delay: 0.05}},
+		{"duplicate", faults.Config{Seed: 13, Duplicate: 0.02}},
+		{"reorder", faults.Config{Seed: 14, Reorder: 0.02}},
+		{"reset", faults.Config{Seed: 15, Reset: 0.0005}},
+		{"overflow", faults.Config{Seed: 16, Overflow: 0.01}},
+	}
+	for _, k := range kinds {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			results := Run(specs, Options{Faults: k.cfg})
+			sum := Summarize(results)
+			t.Logf("%s: %s", k.name, sum)
+			if sum.OrganicFails > 0 {
+				for _, r := range results {
+					if r.Err != nil && !r.FaultTyped {
+						t.Errorf("%s: untyped failure under %s faults: %v", r.Spec.Name, k.name, r.Err)
+					}
+				}
+			}
+			if sum.Converged == 0 && sum.TypedFaults == 0 {
+				t.Fatalf("no result at all under %s faults", k.name)
+			}
+		})
+	}
+}
+
+// TestFaultRunDeterministic asserts the whole suite replays bit-for-bit
+// from its seeds, faults included.
+func TestFaultRunDeterministic(t *testing.T) {
+	specs := GenerateSpecs(4, cleanSeed)
+	opts := Options{Faults: faults.Config{Seed: 7, Drop: 0.02, Delay: 0.03, Duplicate: 0.01}}
+	a := Run(specs, opts)
+	b := Run(specs, opts)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("run %d diverged:\n  first:  %s\n  second: %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRetryDisabledSurfacesTypedErrors checks the fail-cleanly path: with
+// retry explicitly reduced to one attempt, injected drops must surface as
+// typed fault errors rather than hangs or organic failures.
+func TestRetryDisabledSurfacesTypedErrors(t *testing.T) {
+	specs := GenerateSpecs(2, cleanSeed)
+	results := Run(specs, Options{
+		Faults: faults.Config{Seed: 3, Drop: 0.2},
+		Retry:  probe.Retry{MaxAttempts: 1},
+	})
+	for _, r := range results {
+		if r.Err == nil {
+			continue // survived by luck of the draw
+		}
+		if !r.FaultTyped {
+			t.Errorf("%s: error not typed: %v", r.Spec.Name, r.Err)
+		}
+		if _, ok := faults.IsFault(r.Err); !ok && !errors.Is(r.Err, probe.ErrExhausted) {
+			t.Errorf("%s: error chain lost the fault: %v", r.Spec.Name, r.Err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package infer
+
+import (
+	"testing"
+
+	"tango/internal/switchsim"
+)
+
+// key abbreviates sort-key construction for the tables below.
+func key(a switchsim.Attribute, high bool) switchsim.SortKey {
+	return switchsim.SortKey{Attr: a, HighIsBetter: high}
+}
+
+// TestProbePolicyConformance is the Algorithm 2 conformance table: for each
+// ground-truth LEX composite — one, two, and three levels deep — the
+// inference must recover the exact key sequence. Each case pins its own
+// seed so a regression reports the precise composite that broke.
+func TestProbePolicyConformance(t *testing.T) {
+	cases := []struct {
+		name      string
+		policy    switchsim.Policy
+		cacheSize int
+		seed      int64
+	}{
+		// Single-attribute policies (serial attribute alone).
+		{"fifo/insertion-low", switchsim.Policy{Keys: []switchsim.SortKey{
+			key(switchsim.AttrInsertion, false),
+		}}, 100, 101},
+		{"lifo/insertion-high", switchsim.Policy{Keys: []switchsim.SortKey{
+			key(switchsim.AttrInsertion, true),
+		}}, 100, 102},
+		{"lru/use-time-high", switchsim.Policy{Keys: []switchsim.SortKey{
+			key(switchsim.AttrUseTime, true),
+		}}, 100, 103},
+
+		// Two-level composites: one comparable attribute, serial tiebreak.
+		{"lfu/traffic-then-fifo", switchsim.Policy{Keys: []switchsim.SortKey{
+			key(switchsim.AttrTraffic, true),
+			key(switchsim.AttrInsertion, false),
+		}}, 80, 104},
+		{"prio-then-lru", switchsim.Policy{Keys: []switchsim.SortKey{
+			key(switchsim.AttrPriority, true),
+			key(switchsim.AttrUseTime, true),
+		}}, 80, 105},
+		{"inverted-prio-then-lifo", switchsim.Policy{Keys: []switchsim.SortKey{
+			key(switchsim.AttrPriority, false),
+			key(switchsim.AttrInsertion, true),
+		}}, 80, 106},
+
+		// Three-level composites: both comparable attributes, then serial.
+		{"traffic-prio-fifo", switchsim.Policy{Keys: []switchsim.SortKey{
+			key(switchsim.AttrTraffic, true),
+			key(switchsim.AttrPriority, true),
+			key(switchsim.AttrInsertion, false),
+		}}, 80, 107},
+		{"prio-traffic-lru", switchsim.Policy{Keys: []switchsim.SortKey{
+			key(switchsim.AttrPriority, true),
+			key(switchsim.AttrTraffic, true),
+			key(switchsim.AttrUseTime, true),
+		}}, 80, 108},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			e, _ := engineFor(switchsim.TestSwitch(c.cacheSize, c.policy))
+			res, err := ProbePolicy(e, PolicyOptions{CacheSize: c.cacheSize, Seed: c.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Inconclusive {
+				t.Fatalf("inconclusive (rounds %+v)", res.Rounds)
+			}
+			if !res.Policy.Equal(c.policy) {
+				t.Fatalf("inferred %v, want %v (rounds %+v)", res.Policy, c.policy, res.Rounds)
+			}
+		})
+	}
+}
+
+// TestProbePolicyAmbiguousComposite covers the tie case: a configured policy
+// that stops at a comparable attribute is observationally identical to the
+// same policy completed with the emulator's implicit tiebreak (insertion,
+// low-is-better — Better falls back to insertSeq ordering when every key
+// compares equal). Algorithm 2 cannot and should not distinguish the two:
+// it must return the completed canonical form.
+func TestProbePolicyAmbiguousComposite(t *testing.T) {
+	configured := switchsim.Policy{Keys: []switchsim.SortKey{
+		key(switchsim.AttrTraffic, true), // no serial terminator
+	}}
+	canonical := switchsim.Policy{Keys: []switchsim.SortKey{
+		key(switchsim.AttrTraffic, true),
+		key(switchsim.AttrInsertion, false),
+	}}
+	e, _ := engineFor(switchsim.TestSwitch(80, configured))
+	res, err := ProbePolicy(e, PolicyOptions{CacheSize: 80, Seed: 109})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Policy.Equal(canonical) {
+		t.Fatalf("inferred %v, want the canonical completion %v (rounds %+v)",
+			res.Policy, canonical, res.Rounds)
+	}
+}
+
+// TestProbePolicyMicroflowInconclusive pins the other ambiguity outcome: on
+// a switch whose "policy" is per-packet microflow caching (OVS), every
+// composite hypothesis fails verification and Algorithm 2 must say so
+// rather than guess.
+func TestProbePolicyMicroflowInconclusive(t *testing.T) {
+	e, _ := engineFor(switchsim.OVS())
+	res, err := ProbePolicy(e, PolicyOptions{CacheSize: 64, Seed: 110})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Inconclusive {
+		t.Fatalf("got %v, want inconclusive on a microflow cache", res.Policy)
+	}
+}

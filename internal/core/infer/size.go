@@ -15,6 +15,7 @@ import (
 	"tango/internal/cluster"
 	"tango/internal/core/probe"
 	"tango/internal/stats"
+	"tango/internal/switchsim"
 )
 
 // SizeOptions tunes ProbeSizes. The zero value selects sensible defaults.
@@ -113,6 +114,12 @@ func ProbeSizes(e *probe.Engine, opts SizeOptions) (*SizeResult, error) {
 		roundStart := e.Device().Now()
 		for i := installed; i < target; i++ {
 			if err := e.Install(opts.FlowIDBase+uint32(i), opts.Priority); err != nil {
+				// Only a genuine capacity rejection terminates the doubling;
+				// anything else (channel fault, exhausted retries) is a real
+				// failure the caller must see.
+				if !errors.Is(err, switchsim.ErrTableFull) {
+					return nil, fmt.Errorf("infer: install rule %d: %w", i, err)
+				}
 				res.CacheFull = true
 				break
 			}

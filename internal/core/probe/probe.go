@@ -61,6 +61,14 @@ func (d SimDevice) SendProbe(data []byte, inPort uint16) (time.Duration, bool, e
 // Now implements Device.
 func (d SimDevice) Now() time.Time { return d.S.Now() }
 
+// Sleep advances the switch's virtual clock, letting retry backoff and
+// injected fault latencies charge simulated rather than wall time.
+func (d SimDevice) Sleep(dur time.Duration) { d.S.Clock().Sleep(dur) }
+
+// Reset power-cycles the underlying emulated switch (used by fault
+// injection to model mid-probe agent restarts).
+func (d SimDevice) Reset() { d.S.Reset() }
+
 // SendTraffic implements TrafficSender with a single batched pipeline pass.
 func (d SimDevice) SendTraffic(data []byte, inPort uint16, count int) error {
 	_, err := d.S.SendPacketN(data, inPort, count)
@@ -73,18 +81,23 @@ type Engine struct {
 	// InPort is the ingress port probe frames claim; the default 1 works
 	// for all emulated profiles.
 	InPort uint16
+	// Retry bounds recovery from transient channel failures; the zero
+	// value keeps the engine single-attempt.
+	Retry Retry
 	// frames caches built probe frames by flow ID — probing re-sends the
 	// same flows thousands of times.
 	frames map[uint32][]byte
 
 	// Telemetry handles. All nil-safe: an engine built with no registry
 	// (and no process default installed) records nothing at no cost.
-	tracer    *telemetry.Tracer
-	mFlowMods *telemetry.Counter
-	mProbes   *telemetry.Counter
-	mPunted   *telemetry.Counter
-	mTraffic  *telemetry.Counter
-	hRTT      *telemetry.Histogram
+	tracer     *telemetry.Tracer
+	mFlowMods  *telemetry.Counter
+	mProbes    *telemetry.Counter
+	mPunted    *telemetry.Counter
+	mTraffic   *telemetry.Counter
+	mRetries   *telemetry.Counter
+	mExhausted *telemetry.Counter
+	hRTT       *telemetry.Histogram
 }
 
 // NewEngine returns an engine driving dev, bound to the process-wide
@@ -103,6 +116,8 @@ func (e *Engine) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	e.mProbes = reg.Counter("probe.probes_sent")
 	e.mPunted = reg.Counter("probe.punted")
 	e.mTraffic = reg.Counter("probe.traffic_packets")
+	e.mRetries = reg.Counter("probe.retries")
+	e.mExhausted = reg.Counter("probe.retry_exhausted")
 	e.hRTT = reg.Histogram("probe.rtt_ns")
 }
 
@@ -114,10 +129,25 @@ func (e *Engine) Tracer() *telemetry.Tracer { return e.tracer }
 // Device returns the engine's device.
 func (e *Engine) Device() Device { return e.dev }
 
-// flowMod issues one flow-mod through the device, counting it.
+// flowMod issues one flow-mod through the device, counting it and retrying
+// transient channel failures under the engine's Retry policy. Re-attempted
+// adds are scrubbed first (strict-delete of the same match/priority):
+// after an ack-loss the rule may already be installed, and a blind re-add
+// would leak a duplicate table slot.
 func (e *Engine) flowMod(fm *openflow.FlowMod) error {
 	e.mFlowMods.Add(1)
-	return e.dev.FlowMod(fm)
+	var scrub func()
+	if fm.Command == openflow.FlowAdd && e.Retry.enabled() {
+		scrub = func() {
+			del := &openflow.FlowMod{
+				Command:  openflow.FlowDeleteStrict,
+				Match:    fm.Match,
+				Priority: fm.Priority,
+			}
+			_ = e.dev.FlowMod(del) // best effort; a no-op delete is not an error
+		}
+	}
+	return e.withRetry("flowmod", func() error { return e.dev.FlowMod(fm) }, scrub)
 }
 
 // frame returns (building if needed) the probe frame for flow id.
@@ -169,12 +199,21 @@ func (e *Engine) Delete(id uint32, priority uint16) error {
 }
 
 // Probe sends flow id's frame and returns its RTT and whether it punted.
+// Transient send failures retry under the engine's Retry policy.
 func (e *Engine) Probe(id uint32) (time.Duration, bool, error) {
 	f, err := e.frame(id)
 	if err != nil {
 		return 0, false, err
 	}
-	rtt, punted, err := e.dev.SendProbe(f, e.InPort)
+	var (
+		rtt    time.Duration
+		punted bool
+	)
+	err = e.withRetry("probe", func() error {
+		var aerr error
+		rtt, punted, aerr = e.dev.SendProbe(f, e.InPort)
+		return aerr
+	}, nil)
 	if err == nil {
 		e.mProbes.Add(1)
 		e.hRTT.Observe(float64(rtt))
@@ -196,14 +235,19 @@ func (e *Engine) SendTraffic(id uint32, count int) error {
 		return err
 	}
 	if ts, ok := e.dev.(TrafficSender); ok {
-		if err := ts.SendTraffic(f, e.InPort, count); err != nil {
+		if err := e.withRetry("traffic", func() error {
+			return ts.SendTraffic(f, e.InPort, count)
+		}, nil); err != nil {
 			return err
 		}
 		e.mTraffic.Add(int64(count))
 		return nil
 	}
 	for i := 0; i < count; i++ {
-		if _, _, err := e.dev.SendProbe(f, e.InPort); err != nil {
+		if err := e.withRetry("traffic", func() error {
+			_, _, aerr := e.dev.SendProbe(f, e.InPort)
+			return aerr
+		}, nil); err != nil {
 			return err
 		}
 		e.mTraffic.Add(1)

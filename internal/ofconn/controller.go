@@ -32,6 +32,7 @@ type Controller struct {
 	notify chan openflow.Message
 
 	features *openflow.FeaturesReply
+	timeout  time.Duration
 
 	tel ctrlTelemetry
 }
@@ -45,6 +46,12 @@ type ControllerOptions struct {
 	// Tracer receives controller lifecycle instants (ofconn.dial,
 	// ofconn.controller.close). Nil falls back to the process default.
 	Tracer *telemetry.Tracer
+	// Timeout bounds every await for a switch reply (barrier, probe,
+	// echo, stats, handshake). Zero keeps the historical block-forever
+	// behaviour; set it whenever the peer may lose messages (fault
+	// injection, flaky networks) so drops surface as ErrTimeout instead
+	// of hangs.
+	Timeout time.Duration
 }
 
 // ctrlTelemetry bundles the controller-side handles, resolved once at
@@ -75,6 +82,20 @@ func (t *ctrlTelemetry) init(opts ControllerOptions) {
 // ErrClosed is returned for operations on a closed controller connection.
 var ErrClosed = errors.New("ofconn: connection closed")
 
+// timeoutError is the concrete type behind ErrTimeout. It carries the
+// Timeout/Transient markers (net.Error convention and the probe engine's
+// retry classifier, respectively): a reply that never came is worth
+// retrying, unlike a closed connection.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "ofconn: timed out awaiting switch reply" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Transient() bool { return true }
+
+// ErrTimeout is returned when ControllerOptions.Timeout elapses before the
+// switch replies. Match it with errors.Is.
+var ErrTimeout error = timeoutError{}
+
 // Dial connects to an OpenFlow switch at addr, performs the HELLO and
 // FEATURES handshake, and returns a ready controller.
 func Dial(addr string) (*Controller, error) {
@@ -103,6 +124,7 @@ func NewControllerOptions(conn net.Conn, opts ControllerOptions) (*Controller, e
 		pending: make(map[uint32]chan openflow.Message),
 		closed:  make(chan struct{}),
 		notify:  make(chan openflow.Message, 256),
+		timeout: opts.Timeout,
 	}
 	c.tel.init(opts)
 	c.tel.tracer.Instant("ofconn.dial", "", map[string]any{"remote": conn.RemoteAddr().String()})
@@ -196,13 +218,29 @@ func (c *Controller) send(m openflow.Message) error {
 	return nil
 }
 
-// await blocks for the reply to xid on ch.
-func (c *Controller) await(ch chan openflow.Message) (openflow.Message, error) {
-	msg, ok := <-ch
-	if !ok {
-		return nil, ErrClosed
+// await blocks for the reply to xid on ch, bounded by the configured
+// timeout (when set). On timeout the xid is unregistered; a straggler reply
+// arriving later lands in the 1-buffered channel and is garbage-collected.
+func (c *Controller) await(xid uint32, ch chan openflow.Message) (openflow.Message, error) {
+	if c.timeout <= 0 {
+		msg, ok := <-ch
+		if !ok {
+			return nil, ErrClosed
+		}
+		return msg, nil
 	}
-	return msg, nil
+	t := time.NewTimer(c.timeout)
+	defer t.Stop()
+	select {
+	case msg, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return msg, nil
+	case <-t.C:
+		c.unregister(xid)
+		return nil, ErrTimeout
+	}
 }
 
 func (c *Controller) handshake() error {
@@ -216,7 +254,7 @@ func (c *Controller) handshake() error {
 	if err := c.send(&openflow.FeaturesRequest{Header: openflow.Header{Xid: xid}}); err != nil {
 		return err
 	}
-	msg, err := c.await(ch)
+	msg, err := c.await(xid, ch)
 	if err != nil {
 		return err
 	}
@@ -250,9 +288,11 @@ func (c *Controller) FlowMod(fm *openflow.FlowMod) error {
 		return err
 	}
 	if err := c.send(&openflow.BarrierRequest{Header: openflow.Header{Xid: barXID}}); err != nil {
+		c.unregister(fmXID)
 		return err
 	}
-	if _, err := c.await(barCh); err != nil {
+	if _, err := c.await(barXID, barCh); err != nil {
+		c.unregister(fmXID)
 		return err
 	}
 	// The agent loop writes any error before the barrier reply, so a
@@ -295,9 +335,15 @@ func (c *Controller) FlowMods(fms []*openflow.FlowMod) error {
 		return err
 	}
 	if err := c.send(&openflow.BarrierRequest{Header: openflow.Header{Xid: barXID}}); err != nil {
+		for _, fm := range fms {
+			c.unregister(fm.XID())
+		}
 		return err
 	}
-	if _, err := c.await(barCh); err != nil {
+	if _, err := c.await(barXID, barCh); err != nil {
+		for _, fm := range fms {
+			c.unregister(fm.XID())
+		}
 		return err
 	}
 	var first error
@@ -336,7 +382,7 @@ func (c *Controller) SendProbe(data []byte, inPort uint16) (rtt time.Duration, p
 	if err := c.send(out); err != nil {
 		return 0, false, err
 	}
-	msg, err := c.await(ch)
+	msg, err := c.await(xid, ch)
 	if err != nil {
 		return 0, false, err
 	}
@@ -358,7 +404,7 @@ func (c *Controller) Echo() (time.Duration, error) {
 	if err := c.send(&openflow.EchoRequest{Header: openflow.Header{Xid: xid}, Data: []byte("tango")}); err != nil {
 		return 0, err
 	}
-	if _, err := c.await(ch); err != nil {
+	if _, err := c.await(xid, ch); err != nil {
 		return 0, err
 	}
 	return time.Since(start), nil
@@ -374,7 +420,7 @@ func (c *Controller) TableStats() ([]openflow.TableStats, error) {
 	if err := c.send(req); err != nil {
 		return nil, err
 	}
-	msg, err := c.await(ch)
+	msg, err := c.await(xid, ch)
 	if err != nil {
 		return nil, err
 	}
@@ -400,7 +446,7 @@ func (c *Controller) FlowStats() ([]openflow.FlowStats, error) {
 	if err := c.send(req); err != nil {
 		return nil, err
 	}
-	msg, err := c.await(ch)
+	msg, err := c.await(xid, ch)
 	if err != nil {
 		return nil, err
 	}
@@ -414,6 +460,11 @@ func (c *Controller) FlowStats() ([]openflow.FlowStats, error) {
 // Now returns the wall-clock time; with a TCP device, probing measures real
 // elapsed time.
 func (c *Controller) Now() time.Time { return time.Now() }
+
+// Sleep blocks for d of wall time. It gives the probe engine's retry
+// backoff (and fault-injection latencies) a clock to charge against,
+// mirroring SimDevice.Sleep on the virtual-time path.
+func (c *Controller) Sleep(d time.Duration) { time.Sleep(d) }
 
 // Close tears down the connection.
 func (c *Controller) Close() error {

@@ -1,0 +1,138 @@
+package ofconn
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"tango/internal/core/infer"
+	"tango/internal/core/pattern"
+	"tango/internal/faults"
+	"tango/internal/flowtable"
+	"tango/internal/openflow"
+	"tango/internal/switchsim"
+)
+
+// startFaultySwitch serves sw through the injector and returns its address.
+func startFaultySwitch(t *testing.T, sw *switchsim.Switch, inj *faults.Injector) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go ServeWith(ln, sw, ServeOptions{Faults: inj})
+	return ln.Addr().String()
+}
+
+func testAdd(id uint32) *openflow.FlowMod {
+	return &openflow.FlowMod{
+		Command:  openflow.FlowAdd,
+		Match:    flowtable.ExactProbeMatch(id),
+		Priority: 10,
+		Actions:  flowtable.Output(1),
+	}
+}
+
+func TestTimeoutWhenServerDropsReplies(t *testing.T) {
+	sw := switchsim.New(switchsim.Switch2(), switchsim.WithClock(fastClock()))
+	inj := faults.NewInjector(faults.Config{Seed: 1, Drop: 1.0})
+	addr := startFaultySwitch(t, sw, inj)
+	c, err := DialOptions(addr, ControllerOptions{Timeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	err = c.FlowMod(testAdd(1))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout when every reply is dropped", err)
+	}
+	var to interface{ Timeout() bool }
+	if !errors.As(err, &to) || !to.Timeout() {
+		t.Fatal("ErrTimeout must carry the Timeout marker")
+	}
+	var tr interface{ Transient() bool }
+	if !errors.As(err, &tr) || !tr.Transient() {
+		t.Fatal("ErrTimeout must be transient so the probe engine retries it")
+	}
+}
+
+func TestServerInjectedOverflowSurfacesTableFull(t *testing.T) {
+	sw := switchsim.New(switchsim.Switch2(), switchsim.WithClock(fastClock()))
+	inj := faults.NewInjector(faults.Config{Seed: 2, Overflow: 1.0})
+	addr := startFaultySwitch(t, sw, inj)
+	c, err := DialOptions(addr, ControllerOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	err = c.FlowMod(testAdd(1))
+	if !errors.Is(err, switchsim.ErrTableFull) {
+		t.Fatalf("got %v, want an injected all-tables-full error", err)
+	}
+	if tcam, _, software := sw.RuleCount(); tcam+software != 0 {
+		t.Fatalf("switch applied the rejected flow-mod (%d rules resident)", tcam+software)
+	}
+}
+
+func TestServerInjectedResetClearsSwitch(t *testing.T) {
+	sw := switchsim.New(switchsim.Switch2(), switchsim.WithClock(fastClock()))
+	addr := startFaultySwitch(t, sw, faults.NewInjector(faults.Config{Seed: 3, Reset: 1.0}))
+	c, err := DialOptions(addr, ControllerOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The reset fires on the inbound flow-mod; the op still gets a reply.
+	_ = c.FlowMod(testAdd(1))
+	if got := sw.Stats().Resets; got == 0 {
+		t.Fatal("server-side reset fault never reset the switch")
+	}
+}
+
+// TestProbeAllAggregatesAllFailures is the fleet regression: when two
+// members both fail, both failures must appear in the joined error instead
+// of one being silently discarded.
+func TestProbeAllAggregatesAllFailures(t *testing.T) {
+	f := NewFleet()
+	defer f.Close()
+	// Two switches whose servers time out every request, plus one healthy
+	// member to prove partial success still probes.
+	for _, name := range []string{"dead-a", "dead-b"} {
+		sw := switchsim.New(switchsim.Switch2(), switchsim.WithClock(fastClock()))
+		inj := faults.NewInjector(faults.Config{Seed: 4, Drop: 1.0})
+		addr := startFaultySwitch(t, sw, inj)
+		c, err := DialOptions(addr, ControllerOptions{Timeout: 50 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.mu.Lock()
+		f.members[name] = c
+		f.mu.Unlock()
+	}
+	healthy := switchsim.New(switchsim.Switch2(), switchsim.WithClock(fastClock()))
+	if err := f.Connect("alive", startSwitch(t, healthy)); err != nil {
+		t.Fatal(err)
+	}
+
+	db := pattern.NewDB()
+	err := f.ProbeAll(db, infer.CostOptions{Samples: 2})
+	if err == nil {
+		t.Fatal("ProbeAll succeeded with two dead members")
+	}
+	for _, name := range []string{"dead-a", "dead-b"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("joined error is missing member %s: %v", name, err)
+		}
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("joined error lost the timeout cause: %v", err)
+	}
+	if _, ok := db.Score("alive"); !ok {
+		t.Error("healthy member was not probed despite others failing")
+	}
+}

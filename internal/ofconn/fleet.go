@@ -1,6 +1,7 @@
 package ofconn
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -99,10 +100,15 @@ func (f *Fleet) ProbeAll(db *pattern.DB, opts infer.CostOptions) error {
 	}
 	wg.Wait()
 	close(errs)
+	// Surface every member's failure, not just the first drained: with the
+	// probes running concurrently, "first" was arbitrary and the rest were
+	// silently discarded. Member order in the error is nondeterministic
+	// (map iteration + goroutine scheduling); match with errors.Is/As.
+	var all []error
 	for err := range errs {
-		return err
+		all = append(all, err)
 	}
-	return nil
+	return errors.Join(all...)
 }
 
 // Close tears down every connection.

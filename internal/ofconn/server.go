@@ -15,7 +15,9 @@ import (
 	"io"
 	"log"
 	"net"
+	"time"
 
+	"tango/internal/faults"
 	"tango/internal/openflow"
 	"tango/internal/switchsim"
 	"tango/internal/telemetry"
@@ -33,6 +35,13 @@ type ServeOptions struct {
 	// Tracer receives ofconn.accept / ofconn.close lifecycle events. Nil
 	// falls back to the process default.
 	Tracer *telemetry.Tracer
+	// Faults, when non-nil, perturbs the agent loop: requests and replies
+	// are dropped, delayed, duplicated, or reordered, flow-mods rejected
+	// with spurious table-full errors, and the switch reset mid-stream —
+	// one seeded decision per inbound message. Controllers talking to a
+	// faulty server should set ControllerOptions.Timeout, or dropped
+	// replies hang the awaiting call forever.
+	Faults *faults.Injector
 }
 
 // serverTelemetry bundles the per-listener handles resolved once in
@@ -90,7 +99,7 @@ func ServeWith(ln net.Listener, sw *switchsim.Switch, opts ServeOptions) error {
 				tel.active.Add(-1)
 				tel.tracer.Instant("ofconn.close", "", map[string]any{"remote": conn.RemoteAddr().String()})
 			}()
-			if err := handleConn(conn, sw, tel); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			if err := handleConn(conn, sw, tel, opts.Faults); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				tel.connErrs.Add(1)
 				lg.Printf("ofconn: connection from %v ended: %v", conn.RemoteAddr(), err)
 			}
@@ -98,20 +107,79 @@ func ServeWith(ln net.Listener, sw *switchsim.Switch, opts ServeOptions) error {
 	}
 }
 
+// handshakeMsg reports whether msg belongs to the connection handshake.
+func handshakeMsg(msg openflow.Message) bool {
+	switch msg.(type) {
+	case *openflow.Hello, *openflow.FeaturesRequest:
+		return true
+	}
+	return false
+}
+
 // handleConn runs the per-connection agent loop: an initial HELLO, then a
-// strict request→replies cycle driven by the switch's Handle method.
-func handleConn(conn net.Conn, sw *switchsim.Switch, tel serverTelemetry) error {
+// strict request→replies cycle driven by the switch's Handle method. A
+// non-nil injector draws one fault decision per inbound message and
+// perturbs the cycle accordingly.
+func handleConn(conn net.Conn, sw *switchsim.Switch, tel serverTelemetry, inj *faults.Injector) error {
 	if err := openflow.WriteMessage(conn, &openflow.Hello{}); err != nil {
 		return err
 	}
 	tel.msgsOut.Add(1)
+	// held carries replies deferred by a reorder fault; they go out after
+	// the next message's replies, swapping the two on the wire.
+	var held []openflow.Message
 	for {
 		msg, err := openflow.ReadMessage(conn)
 		if err != nil {
 			return err
 		}
 		tel.msgsIn.Add(1)
-		for _, reply := range sw.Handle(msg) {
+		var replies []openflow.Message
+		var dec faults.Decision
+		// The handshake is exempt: a connection that cannot complete
+		// HELLO/FEATURES is indistinguishable from a dead listener, which is
+		// outside the fault model (we perturb channels, not kill them).
+		if !handshakeMsg(msg) {
+			dec = inj.Decide() // nil injector never fires
+		}
+		apply := true
+		if dec.Fire {
+			switch dec.Kind {
+			case faults.KindDrop:
+				if dec.AckLoss {
+					// Applied by the switch; the replies vanish in transit.
+					sw.Handle(msg)
+				}
+				apply = false
+			case faults.KindDelay:
+				time.Sleep(dec.Delay)
+			case faults.KindReset:
+				sw.Reset()
+			case faults.KindOverflow:
+				if fm, ok := msg.(*openflow.FlowMod); ok {
+					// Spurious agent-side rejection: the op is not applied.
+					replies = []openflow.Message{&openflow.Error{
+						Header:  openflow.Header{Xid: fm.XID()},
+						ErrType: openflow.ErrTypeFlowModFailed,
+						Code:    openflow.ErrCodeAllTablesFull,
+					}}
+					apply = false
+				}
+			}
+		}
+		if apply {
+			replies = append(replies, sw.Handle(msg)...)
+		}
+		if dec.Fire && dec.Kind == faults.KindDuplicate {
+			replies = append(replies, replies...)
+		}
+		if dec.Fire && dec.Kind == faults.KindReorder && held == nil {
+			held = replies
+			continue
+		}
+		replies = append(replies, held...)
+		held = nil
+		for _, reply := range replies {
 			if err := openflow.WriteMessage(conn, reply); err != nil {
 				return err
 			}

@@ -93,6 +93,7 @@ type Stats struct {
 	Evictions   uint64
 	Promotions  uint64
 	Expirations uint64
+	Resets      uint64
 }
 
 // Switch is one emulated OpenFlow switch. All methods are safe for
@@ -207,6 +208,42 @@ func (s *Switch) installDefaultRoute() {
 	}
 	s.entries[r] = e
 	s.defaultRule = r
+}
+
+// Reset returns the switch to its power-on state: every flow table and the
+// microflow cache are cleared, pending notifications and the agent's
+// batching context are dropped, and the pre-installed default route (when
+// the switch was built with one) is reinstalled. The clock, port link
+// states, and cumulative counters survive, as they do across a real agent
+// restart. Fault injection uses this to model mid-probe switch resets.
+func (s *Switch) Reset() {
+	s.mu.Lock()
+	hadDefault := s.defaultRule != nil
+	switch s.profile.Kind {
+	case ManageTCAMOnly:
+		s.tcam = flowtable.NewTCAM(s.profile.TCAM)
+	case ManagePolicyCache:
+		s.tcam = flowtable.NewTCAM(s.profile.TCAM)
+		s.software = &flowtable.Table{Capacity: s.profile.softwareCap()}
+	case ManageMicroflow:
+		s.software = &flowtable.Table{Capacity: s.profile.softwareCap()}
+		s.kernel = make(map[packet.FiveTuple]*kernelEntry)
+	}
+	s.entries = make(map[*flowtable.Rule]*entry)
+	s.defaultRule = nil
+	s.haveLastAdd, s.haveLastOp = false, false
+	s.nextExpiry = time.Time{}
+	s.removedQueue = nil
+	s.portQueue = nil
+	s.stats.Resets++
+	s.tel.resets.Add(1)
+	if s.tel.enabled() {
+		s.updateOccupancy()
+	}
+	s.mu.Unlock()
+	if hadDefault {
+		s.installDefaultRoute()
+	}
 }
 
 // Profile returns the switch's profile.

@@ -24,6 +24,7 @@ type switchTelemetry struct {
 	evictions   *telemetry.Counter
 	promotions  *telemetry.Counter
 	expirations *telemetry.Counter
+	resets      *telemetry.Counter
 
 	tcamOcc   *telemetry.Gauge
 	softOcc   *telemetry.Gauge
@@ -44,6 +45,7 @@ func (t *switchTelemetry) init(reg *telemetry.Registry, tr *telemetry.Tracer, na
 	t.evictions = reg.Counter("switchsim.evictions")
 	t.promotions = reg.Counter("switchsim.promotions")
 	t.expirations = reg.Counter("switchsim.expirations")
+	t.resets = reg.Counter("switchsim.resets")
 	t.tcamOcc = reg.Gauge("switchsim." + name + ".tcam_occupancy")
 	t.softOcc = reg.Gauge("switchsim." + name + ".software_occupancy")
 	t.kernelOcc = reg.Gauge("switchsim." + name + ".kernel_occupancy")

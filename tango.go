@@ -130,6 +130,10 @@ type InspectOptions struct {
 	SkipPolicy bool
 	// SkipCosts disables control-cost fitting.
 	SkipCosts bool
+	// Retry bounds recovery from transient control-channel failures
+	// (timeouts, injected faults). The zero value keeps every operation
+	// single-attempt; probe.DefaultRetry suits lossy channels.
+	Retry probe.Retry
 }
 
 // Inspect runs the full Tango inference pipeline against a device: size
@@ -143,6 +147,7 @@ func Inspect(dev Device, opts InspectOptions) (*Model, error) {
 		opts.Name = "switch"
 	}
 	e := probe.NewEngine(dev)
+	e.Retry = opts.Retry
 	m := &Model{Name: opts.Name}
 
 	sizeOpts := infer.SizeOptions{Seed: opts.Seed, MaxRules: opts.MaxRules}
