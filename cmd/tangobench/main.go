@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -99,6 +100,7 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write a telemetry metrics snapshot (JSON) to this file")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event file (JSON) to this file")
 		faultSpec  = flag.String("faults", "", `control-channel fault spec for the conformance experiment, e.g. "drop=0.01,delay=0.05,seed=7" (see internal/faults)`)
+		parallel   = flag.Int("parallel", 1, "run up to this many experiments concurrently (0 = GOMAXPROCS); output order is unchanged")
 	)
 	flag.Parse()
 
@@ -159,13 +161,17 @@ func main() {
 		}
 	}
 
+	var chosen []experiment
 	for _, e := range cat {
 		if len(selected) > 0 && !selected[e.id] {
 			continue
 		}
-		start := time.Now()
-		results := e.run(*runs)
-		for _, r := range results {
+		chosen = append(chosen, e)
+	}
+	for i, ch := range launch(chosen, *runs, *parallel) {
+		res := <-ch
+		e := chosen[i]
+		for _, r := range res.results {
 			fmt.Println(r)
 			if *out != "" {
 				if err := writeDat(*out, e.id, r); err != nil {
@@ -174,12 +180,51 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("[%s done in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s done in %v]\n\n", e.id, res.elapsed.Round(time.Millisecond))
 	}
 	if err := flush(); err != nil {
 		fmt.Fprintf(os.Stderr, "tangobench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// expResult is one experiment's finished output plus its wall time.
+type expResult struct {
+	results []fmt.Stringer
+	elapsed time.Duration
+}
+
+// launch starts the chosen experiments across a pool of `parallel` workers
+// (0 selects GOMAXPROCS) and returns one channel per experiment, in input
+// order. Each experiment owns its switches, clocks, and RNGs, so results are
+// identical at any parallelism; the caller drains the channels in order,
+// which keeps the printed output byte-for-byte the same as a serial run.
+func launch(chosen []experiment, runs, parallel int) []chan expResult {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(chosen) {
+		parallel = len(chosen)
+	}
+	done := make([]chan expResult, len(chosen))
+	for i := range chosen {
+		done[i] = make(chan expResult, 1)
+	}
+	next := make(chan int, len(chosen))
+	for i := range chosen {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			for i := range next {
+				start := time.Now()
+				results := chosen[i].run(runs)
+				done[i] <- expResult{results: results, elapsed: time.Since(start)}
+			}
+		}()
+	}
+	return done
 }
 
 // checkWritableDir verifies dir can be created and written into by probing

@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"tango/internal/core/infer"
@@ -129,6 +131,16 @@ type Options struct {
 	Retry probe.Retry
 	// SizeTolerance is the accepted relative size error; 0 means 0.10.
 	SizeTolerance float64
+	// Workers caps the number of specs recovered concurrently; 0 means
+	// GOMAXPROCS, 1 forces the old sequential behavior.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o Options) tolerance() float64 {
@@ -235,13 +247,39 @@ func RunSpec(spec Spec, opts Options) Result {
 	return res
 }
 
-// Run executes every spec in order, sequentially — the decision stream of a
-// shared injector is part of the reproducible state.
+// Run executes every spec, fanning out across Options.Workers goroutines.
+// Each spec owns its switches, virtual clock, RNGs, and fault injector
+// (RunSpec builds a fresh injector per spec), so concurrent recovery is
+// bit-for-bit identical to the sequential order; results come back indexed
+// by spec position regardless of completion order.
 func Run(specs []Spec, opts Options) []Result {
-	out := make([]Result, 0, len(specs))
-	for _, s := range specs {
-		out = append(out, RunSpec(s, opts))
+	out := make([]Result, len(specs))
+	workers := opts.workers()
+	if workers > len(specs) {
+		workers = len(specs)
 	}
+	if workers <= 1 {
+		for i, s := range specs {
+			out[i] = RunSpec(s, opts)
+		}
+		return out
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = RunSpec(specs[i], opts)
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 	return out
 }
 

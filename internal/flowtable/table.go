@@ -116,15 +116,7 @@ func (t *Table) indexInsert(r *Rule) {
 		return
 	}
 	// Maintain wild in table order: descending priority, FIFO within equal.
-	pos := 0
-	for pos < len(t.wild) {
-		w := t.wild[pos]
-		if w.Priority > r.Priority || (w.Priority == r.Priority && w.seq < r.seq) {
-			pos++
-			continue
-		}
-		break
-	}
+	pos := searchByOrder(t.wild, r.Priority, r.seq)
 	t.wild = append(t.wild, nil)
 	copy(t.wild[pos+1:], t.wild[pos:])
 	t.wild[pos] = r
@@ -145,12 +137,42 @@ func (t *Table) indexRemove(r *Rule) {
 		}
 		return
 	}
-	for i, rr := range t.wild {
-		if rr == r {
-			t.wild = append(t.wild[:i], t.wild[i+1:]...)
-			return
+	if i, ok := findByOrder(t.wild, r); ok {
+		t.wild = append(t.wild[:i], t.wild[i+1:]...)
+	}
+}
+
+// searchByOrder returns the index at which a rule with the given (priority,
+// seq) key belongs in a slice kept in table order (descending priority, FIFO
+// — ascending seq — within equal priority).
+func searchByOrder(rules []*Rule, priority uint16, seq uint64) int {
+	lo, hi := 0, len(rules)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		m := rules[mid]
+		if m.Priority > priority || (m.Priority == priority && m.seq < seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
+	return lo
+}
+
+// findByOrder locates r in a table-ordered slice by binary search on its
+// (priority, seq) key. A linear fallback covers rules whose seq was restamped
+// by another table between ordering and removal — correctness net, never the
+// common path.
+func findByOrder(rules []*Rule, r *Rule) (int, bool) {
+	if i := searchByOrder(rules, r.Priority, r.seq); i < len(rules) && rules[i] == r {
+		return i, true
+	}
+	for i, rr := range rules {
+		if rr == r {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // Errors returned by table mutations.
@@ -230,14 +252,41 @@ func (t *Table) Insert(r *Rule, now time.Time) (shifted int, err error) {
 	return shifted, nil
 }
 
-// find returns the rule with an identical match and priority, or nil.
+// find returns the rule with an identical match and priority, or nil. It is
+// served by the lookup index: an indexable match can only equal rules in its
+// exact bucket, any other match only rules in the wild residue — so the
+// duplicate check every Insert performs touches a handful of rules instead
+// of scanning the table.
 func (t *Table) find(m *Match, priority uint16) *Rule {
-	for _, r := range t.rules {
+	if k, ok := indexKey(m); ok {
+		for _, r := range t.exact[k] {
+			if r.Priority == priority && r.Match.Same(m) {
+				return r
+			}
+		}
+		return nil
+	}
+	for _, r := range t.wild {
 		if r.Priority == priority && r.Match.Same(m) {
 			return r
 		}
 	}
 	return nil
+}
+
+// Find returns the installed rule with an identical match and priority, or
+// nil. It is an indexed point lookup, not a packet classification — use
+// Lookup to match frames.
+func (t *Table) Find(m *Match, priority uint16) *Rule { return t.find(m, priority) }
+
+// CanInsert reports whether Insert would accept r right now: there is spare
+// capacity, or an identical (match, priority) rule exists that Insert would
+// overwrite in place.
+func (t *Table) CanInsert(r *Rule) bool {
+	if t.Capacity <= 0 || len(t.rules) < t.Capacity {
+		return true
+	}
+	return t.find(&r.Match, r.Priority) != nil
 }
 
 // Modify replaces the actions of the rule identified by (match, priority).
@@ -254,26 +303,24 @@ func (t *Table) Modify(m *Match, priority uint16, actions []Action) error {
 
 // Delete removes the rule identified by (match, priority) and returns it.
 func (t *Table) Delete(m *Match, priority uint16) (*Rule, error) {
-	for i, r := range t.rules {
-		if r.Priority == priority && r.Match.Same(m) {
-			t.rules = append(t.rules[:i], t.rules[i+1:]...)
-			t.indexRemove(r)
-			return r, nil
-		}
+	r := t.find(m, priority)
+	if r == nil {
+		return nil, ErrNotFound
 	}
-	return nil, ErrNotFound
+	t.Remove(r)
+	return r, nil
 }
 
 // Remove deletes the given rule pointer if present (used by cache eviction).
+// The rule's position is found by binary search on its (priority, seq) key.
 func (t *Table) Remove(target *Rule) bool {
-	for i, r := range t.rules {
-		if r == target {
-			t.rules = append(t.rules[:i], t.rules[i+1:]...)
-			t.indexRemove(r)
-			return true
-		}
+	i, ok := findByOrder(t.rules, target)
+	if !ok {
+		return false
 	}
-	return false
+	t.rules = append(t.rules[:i], t.rules[i+1:]...)
+	t.indexRemove(target)
+	return true
 }
 
 // Lookup returns the highest-priority rule matching frame f on inPort, or
@@ -327,6 +374,19 @@ func (t *Table) Validate() error {
 	}
 	if t.Capacity > 0 && len(t.rules) > t.Capacity {
 		return fmt.Errorf("flowtable: %d rules exceed capacity %d", len(t.rules), t.Capacity)
+	}
+	for i := 1; i < len(t.wild); i++ {
+		a, b := t.wild[i-1], t.wild[i]
+		if a.Priority < b.Priority || (a.Priority == b.Priority && a.seq > b.seq) {
+			return fmt.Errorf("flowtable: wild index order violated at %d", i)
+		}
+	}
+	indexed := len(t.wild)
+	for _, list := range t.exact {
+		indexed += len(list)
+	}
+	if indexed != len(t.rules) {
+		return fmt.Errorf("flowtable: index holds %d rules, table %d", indexed, len(t.rules))
 	}
 	return nil
 }

@@ -24,17 +24,28 @@ type Frame struct {
 // the pipeline can still L2-match such frames, mirroring real switches.
 func Decode(data []byte) (*Frame, error) {
 	var f Frame
+	if err := DecodeInto(&f, data); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// DecodeInto parses data into f, overwriting any previous contents. Callers
+// that decode packets in a hot loop reuse one Frame instead of allocating
+// per packet; f.Payload aliases data and is only valid until the next decode.
+func DecodeInto(f *Frame, data []byte) error {
+	*f = Frame{}
 	rest, err := f.Eth.DecodeFromBytes(data)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	f.Payload = rest
 	if f.Eth.EtherType != EtherTypeIPv4 {
-		return &f, nil
+		return nil
 	}
 	rest, err = f.IP.DecodeFromBytes(rest)
 	if err != nil {
-		return nil, fmt.Errorf("decoding ipv4: %w", err)
+		return fmt.Errorf("decoding ipv4: %w", err)
 	}
 	f.HasIPv4 = true
 	f.Payload = rest
@@ -42,19 +53,19 @@ func Decode(data []byte) (*Frame, error) {
 	case IPProtocolTCP:
 		rest, err = f.TCP.DecodeFromBytes(rest)
 		if err != nil {
-			return nil, fmt.Errorf("decoding tcp: %w", err)
+			return fmt.Errorf("decoding tcp: %w", err)
 		}
 		f.HasTCP = true
 		f.Payload = rest
 	case IPProtocolUDP:
 		rest, err = f.UDP.DecodeFromBytes(rest)
 		if err != nil {
-			return nil, fmt.Errorf("decoding udp: %w", err)
+			return fmt.Errorf("decoding udp: %w", err)
 		}
 		f.HasUDP = true
 		f.Payload = rest
 	}
-	return &f, nil
+	return nil
 }
 
 // Serialize encodes the frame back to wire bytes. Length and checksum fields

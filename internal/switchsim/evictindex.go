@@ -1,0 +1,217 @@
+package switchsim
+
+// evictindex.go keeps the cache policy's eviction order incrementally
+// instead of recomputing it. Policy-cache switches maintain two binary heaps
+// over their entries, both ordered by Policy.Better (a total order — ties
+// fall back to insertion sequence, so every heap root is unique and equals
+// the corresponding full-scan result):
+//
+//   - the eviction index over TCAM residents, policy-worst entry at the
+//     root (the next victim);
+//   - the promotion index over TCAM-eligible software residents,
+//     policy-best entry at the root (the next entry to refill a freed slot).
+//
+// Each entry carries a heap-position back-pointer, so membership moves
+// (insert, evict, promote, delete) and attribute updates under touch-heavy
+// policies (use time, traffic) cost O(log n) instead of the O(n) slice
+// rebuild and rescan the naive scan paid on every insert into a full cache.
+// The naive scans survive as worstTCAMEntryNaive/bestSoftwareEntryNaive,
+// the reference implementations the differential test replays against.
+
+// entryHeap is a binary heap of entries with back-pointers. first reports
+// whether a must sit closer to the root than b; with a total order the root
+// is the unique extreme element.
+type entryHeap struct {
+	items []*entry
+	first func(a, b *entry) bool
+}
+
+func newEntryHeap(first func(a, b *entry) bool) *entryHeap {
+	return &entryHeap{first: first}
+}
+
+func (h *entryHeap) len() int { return len(h.items) }
+
+// peek returns the root entry, nil when empty.
+func (h *entryHeap) peek() *entry {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+// contains reports whether e currently sits in this heap. Back-pointers are
+// shared across heaps, so identity is checked, not just the index.
+func (h *entryHeap) contains(e *entry) bool {
+	return e.heapIdx >= 0 && e.heapIdx < len(h.items) && h.items[e.heapIdx] == e
+}
+
+// push adds e to the heap. e must not already be in any heap.
+func (h *entryHeap) push(e *entry) {
+	e.heapIdx = len(h.items)
+	h.items = append(h.items, e)
+	h.up(e.heapIdx)
+}
+
+// removeEntry takes e out of the heap, reporting whether it was a member.
+func (h *entryHeap) removeEntry(e *entry) bool {
+	if !h.contains(e) {
+		return false
+	}
+	i := e.heapIdx
+	last := len(h.items) - 1
+	if i != last {
+		h.swap(i, last)
+	}
+	h.items[last] = nil
+	h.items = h.items[:last]
+	e.heapIdx = -1
+	if i != last {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+	return true
+}
+
+// fix restores heap order around e after its attributes changed, reporting
+// whether e was a member.
+func (h *entryHeap) fix(e *entry) bool {
+	if !h.contains(e) {
+		return false
+	}
+	if !h.down(e.heapIdx) {
+		h.up(e.heapIdx)
+	}
+	return true
+}
+
+func (h *entryHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].heapIdx = i
+	h.items[j].heapIdx = j
+}
+
+// up sifts items[i] toward the root.
+func (h *entryHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.first(h.items[i], h.items[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts items[i] toward the leaves, reporting whether it moved.
+func (h *entryHeap) down(i int) bool {
+	moved := false
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return moved
+		}
+		next := left
+		if right := left + 1; right < n && h.first(h.items[right], h.items[left]) {
+			next = right
+		}
+		if !h.first(h.items[next], h.items[i]) {
+			return moved
+		}
+		h.swap(i, next)
+		i = next
+		moved = true
+	}
+}
+
+// initIndexes builds (or rebuilds, on Reset) the eviction and promotion
+// indexes. Only policy-cache hierarchies pay for index maintenance; the
+// other kinds never consult a cache policy.
+func (s *Switch) initIndexes() {
+	if s.profile.Kind != ManagePolicyCache {
+		return
+	}
+	policy := s.profile.CachePolicy
+	s.evictIdx = newEntryHeap(func(a, b *entry) bool { return policy.Better(b, a) })
+	s.promoteIdx = newEntryHeap(policy.Better)
+	s.dynPolicy = false
+	for _, k := range policy.Keys {
+		if k.Attr == AttrUseTime || k.Attr == AttrTraffic {
+			s.dynPolicy = true
+		}
+	}
+}
+
+// trackTCAM registers e in the eviction index after it entered the TCAM.
+func (s *Switch) trackTCAM(e *entry) {
+	if s.evictIdx == nil {
+		return
+	}
+	s.evictIdx.push(e)
+	s.tel.idxPushes.Add(1)
+}
+
+// trackSoft registers e in the promotion index after it entered the
+// software table; ineligible widths never become promotion candidates and
+// stay out of the index, exactly as the naive scan skips them.
+func (s *Switch) trackSoft(e *entry) {
+	if s.promoteIdx == nil || !s.tcamAdmits(e.rule.Match.Width()) {
+		return
+	}
+	s.promoteIdx.push(e)
+	s.tel.idxPushes.Add(1)
+}
+
+// untrack removes e from whichever index holds it.
+func (s *Switch) untrack(e *entry) {
+	if s.evictIdx == nil || e == nil || e.heapIdx < 0 {
+		return
+	}
+	if s.evictIdx.removeEntry(e) || s.promoteIdx.removeEntry(e) {
+		s.tel.idxRemoves.Add(1)
+	}
+}
+
+// indexFix restores index order around e after a policy attribute changed.
+// Static policies (insertion/priority keys only) skip it: their comparisons
+// read values fixed at insert time.
+func (s *Switch) indexFix(e *entry) {
+	if !s.dynPolicy || e == nil || e.heapIdx < 0 {
+		return
+	}
+	if s.evictIdx.fix(e) || s.promoteIdx.fix(e) {
+		s.tel.idxFixups.Add(1)
+	}
+}
+
+// worstTCAMEntryNaive is the retained reference implementation of victim
+// selection: collect the TCAM residents and scan for the policy-worst. The
+// differential test asserts the index always agrees with it.
+func (s *Switch) worstTCAMEntryNaive() *entry {
+	var candidates []*entry
+	for _, r := range s.tcam.Rules() {
+		e := s.entries[r]
+		if e == nil {
+			continue
+		}
+		candidates = append(candidates, e)
+	}
+	return s.profile.CachePolicy.Worst(candidates)
+}
+
+// bestSoftwareEntryNaive is the retained reference scan for promotion.
+func (s *Switch) bestSoftwareEntryNaive() *entry {
+	var best *entry
+	for _, r := range s.software.Rules() {
+		e := s.entries[r]
+		if e == nil || !s.tcamAdmits(r.Match.Width()) {
+			continue
+		}
+		if best == nil || s.profile.CachePolicy.Better(e, best) {
+			best = e
+		}
+	}
+	return best
+}

@@ -61,6 +61,9 @@ type entry struct {
 	useSeq    uint64
 	traffic   uint64
 	inTCAM    bool
+	// heapIdx is the entry's position in the eviction/promotion index
+	// (evictindex.go); -1 while the entry is in neither heap.
+	heapIdx int
 }
 
 // kernelEntry is one exact-match microflow cache entry (OVS kernel table).
@@ -111,6 +114,19 @@ type Switch struct {
 
 	entries map[*flowtable.Rule]*entry
 	events  uint64
+
+	// evictIdx and promoteIdx are the policy-ordered indexes over TCAM and
+	// software residents (evictindex.go); nil except for ManagePolicyCache.
+	// dynPolicy records whether the cache policy reads attributes that
+	// change on data-plane touches (use time, traffic), which is what makes
+	// touch paths pay an O(log n) index fixup.
+	evictIdx   *entryHeap
+	promoteIdx *entryHeap
+	dynPolicy  bool
+
+	// frame is the scratch decode target reused across SendPacketN calls so
+	// the data-plane hot loop does not allocate per packet.
+	frame packet.Frame
 
 	// defaultRule is the pre-installed table-miss punt rule, when present.
 	// Although it occupies a TCAM slot, it is logically the last resort of
@@ -175,6 +191,7 @@ func New(p Profile, opts ...Option) *Switch {
 		s.software = &flowtable.Table{Capacity: p.softwareCap()}
 		s.kernel = make(map[packet.FiveTuple]*kernelEntry)
 	}
+	s.initIndexes()
 	// Bind to the process-wide default telemetry (a no-op unless a command
 	// installed one); WithTelemetry overrides it below.
 	s.tel.init(telemetry.Default(), telemetry.DefaultTracer(), p.Name)
@@ -198,10 +215,11 @@ func (s *Switch) installDefaultRoute() {
 		Priority: 0,
 		Actions:  []flowtable.Action{{Type: flowtable.ActionController}},
 	}
-	e := &entry{rule: r, insertSeq: s.nextEvent()}
+	e := &entry{rule: r, insertSeq: s.nextEvent(), heapIdx: -1}
 	if s.tcam != nil {
 		if _, err := s.tcam.Insert(r, s.clock.Now()); err == nil {
 			e.inTCAM = true
+			s.trackTCAM(e)
 		}
 	} else if s.software != nil {
 		_, _ = s.software.Insert(r, s.clock.Now())
@@ -230,6 +248,7 @@ func (s *Switch) Reset() {
 		s.kernel = make(map[packet.FiveTuple]*kernelEntry)
 	}
 	s.entries = make(map[*flowtable.Rule]*entry)
+	s.initIndexes()
 	s.defaultRule = nil
 	s.haveLastAdd, s.haveLastOp = false, false
 	s.nextExpiry = time.Time{}
@@ -346,7 +365,7 @@ func (s *Switch) add(fm *openflow.FlowMod) error {
 		HardTimeout: fm.HardTimeout,
 		SendFlowRem: fm.Flags&openflow.FlagSendFlowRem != 0,
 	}
-	e := &entry{rule: rule, insertSeq: s.nextEvent()}
+	e := &entry{rule: rule, insertSeq: s.nextEvent(), heapIdx: -1}
 	e.useSeq = e.insertSeq
 	now := s.clock.Now()
 
@@ -391,9 +410,15 @@ func (s *Switch) addPolicyCache(rule *flowtable.Rule, e *entry, now time.Time) e
 	eligible := s.tcamAdmits(width)
 	shifted := s.tcam.CountHigher(rule.Priority) + s.software.CountHigher(rule.Priority)
 	if eligible && s.tcam.Fits(width) {
+		tcamLen := s.tcam.Len()
 		if _, err := s.tcam.Insert(rule, now); err == nil {
 			s.chargeAdd(rule.Priority, shifted)
 			e.inTCAM = true
+			// A duplicate (match, priority) add overwrites in place and
+			// leaves the resident rule's entry as the index member.
+			if s.tcam.Len() > tcamLen {
+				s.trackTCAM(e)
+			}
 			return nil
 		}
 	}
@@ -403,19 +428,27 @@ func (s *Switch) addPolicyCache(rule *flowtable.Rule, e *entry, now time.Time) e
 		// case the cache state does not change".)
 		if victim := s.worstTCAMEntry(); victim != nil && s.profile.CachePolicy.Better(e, victim) {
 			if s.evictUntilFits(width, e) {
+				tcamLen := s.tcam.Len()
 				if _, err := s.tcam.Insert(rule, now); err == nil {
 					s.chargeAdd(rule.Priority, shifted)
 					e.inTCAM = true
+					if s.tcam.Len() > tcamLen {
+						s.trackTCAM(e)
+					}
 					return nil
 				}
 			}
 		}
 	}
+	softLen := s.software.Len()
 	if _, err := s.software.Insert(rule, now); err != nil {
 		s.clock.Sleep(s.profile.Costs.opCost(s.rng, s.profile.Costs.AddBase))
 		return ErrTableFull
 	}
 	s.chargeAdd(rule.Priority, shifted)
+	if s.software.Len() > softLen {
+		s.trackSoft(e)
+	}
 	return nil
 }
 
@@ -431,18 +464,13 @@ func (s *Switch) tcamAdmits(w flowtable.Width) bool {
 }
 
 // worstTCAMEntry returns the policy's eviction candidate among TCAM
-// residents, ignoring the default route (priority-0 punt rules are pinned
-// by vendor agents).
+// residents — the root of the eviction index, in O(1) instead of the
+// reference implementation's full scan (worstTCAMEntryNaive).
 func (s *Switch) worstTCAMEntry() *entry {
-	var candidates []*entry
-	for _, r := range s.tcam.Rules() {
-		e := s.entries[r]
-		if e == nil {
-			continue
-		}
-		candidates = append(candidates, e)
+	if s.evictIdx != nil {
+		return s.evictIdx.peek()
 	}
-	return s.profile.CachePolicy.Worst(candidates)
+	return s.worstTCAMEntryNaive()
 }
 
 // evictUntilFits evicts policy-worst TCAM entries (those worse than the
@@ -466,17 +494,34 @@ func (s *Switch) evictUntilFits(w flowtable.Width, contender *entry) bool {
 // side effects when the software table cannot absorb the victim, which in
 // turn makes the triggering add fail with a table-full error — matching
 // real agents, which reject flow-mods rather than silently discard rules.
+// The software admission check runs before the TCAM removal: Table.Insert
+// restamps the rule's per-table sequence, so removing first keeps the TCAM's
+// binary-searched removal working off a valid key.
 func (s *Switch) demote(victim *entry) bool {
-	if _, err := s.software.Insert(victim.rule, s.clock.Now()); err != nil {
+	if !s.software.CanInsert(victim.rule) {
 		return false
 	}
 	if !s.tcam.Remove(victim.rule) {
-		s.software.Remove(victim.rule)
 		return false
 	}
+	s.untrack(victim)
 	victim.inTCAM = false
+	softLen := s.software.Len()
+	if _, err := s.software.Insert(victim.rule, s.clock.Now()); err != nil {
+		// Unreachable after CanInsert; restore the TCAM copy defensively.
+		_, _ = s.tcam.Insert(victim.rule, s.clock.Now())
+		victim.inTCAM = true
+		s.trackTCAM(victim)
+		return false
+	}
+	if s.software.Len() > softLen {
+		s.trackSoft(victim)
+	}
 	s.stats.Evictions++
 	s.tel.evictions.Add(1)
+	if s.evictIdx != nil {
+		s.tel.hIdxDepth.Observe(float64(s.evictIdx.len()))
+	}
 	return true
 }
 
@@ -492,18 +537,39 @@ func (s *Switch) promote(e *entry) bool {
 	if !s.software.Remove(e.rule) {
 		return false
 	}
+	s.untrack(e)
+	tcamLen := s.tcam.Len()
 	if _, err := s.tcam.Insert(e.rule, s.clock.Now()); err != nil {
+		softLen := s.software.Len()
 		_, _ = s.software.Insert(e.rule, s.clock.Now())
+		if s.software.Len() > softLen {
+			s.trackSoft(e)
+		}
 		return false
 	}
 	e.inTCAM = true
+	if s.tcam.Len() > tcamLen {
+		s.trackTCAM(e)
+	}
 	s.stats.Promotions++
 	s.tel.promotions.Add(1)
 	return true
 }
 
-// locate finds the live rule with the same match and priority.
+// locate finds the live rule with the same match and priority, asking the
+// tables' lookup indexes first. The linear fallback only matters for rules
+// that are tracked but resident in no table (duplicate-add leftovers).
 func (s *Switch) locate(m *flowtable.Match, priority uint16) *flowtable.Rule {
+	if s.tcam != nil {
+		if r := s.tcam.Find(m, priority); r != nil {
+			return r
+		}
+	}
+	if s.software != nil {
+		if r := s.software.Find(m, priority); r != nil {
+			return r
+		}
+	}
 	for r := range s.entries {
 		if r.Priority == priority && r.Match.Same(m) {
 			return r
@@ -555,6 +621,9 @@ func (s *Switch) delete(fm *openflow.FlowMod) error {
 func (s *Switch) removeRule(r *flowtable.Rule) {
 	e := s.entries[r]
 	delete(s.entries, r)
+	if e != nil {
+		s.untrack(e)
+	}
 	s.invalidateKernel(r)
 	if e != nil && e.inTCAM {
 		s.tcam.Remove(r)
@@ -586,19 +655,13 @@ func (s *Switch) refillTCAM() {
 	}
 }
 
-// bestSoftwareEntry returns the policy-best TCAM-eligible software entry.
+// bestSoftwareEntry returns the policy-best TCAM-eligible software entry —
+// the root of the promotion index when one is maintained.
 func (s *Switch) bestSoftwareEntry() *entry {
-	var best *entry
-	for _, r := range s.software.Rules() {
-		e := s.entries[r]
-		if e == nil || !s.tcamAdmits(r.Match.Width()) {
-			continue
-		}
-		if best == nil || s.profile.CachePolicy.Better(e, best) {
-			best = e
-		}
+	if s.promoteIdx != nil {
+		return s.promoteIdx.peek()
 	}
-	return best
+	return s.bestSoftwareEntryNaive()
 }
 
 // invalidateKernel removes microflow cache entries derived from rule r.
@@ -634,13 +697,12 @@ func (s *Switch) SendPacketN(data []byte, inPort uint16, n int) (Result, error) 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.expireLocked(s.clock.Now())
-	f, err := packet.Decode(data)
-	if err != nil {
+	if err := packet.DecodeInto(&s.frame, data); err != nil {
 		return Result{}, err
 	}
 	s.stats.PacketsSeen += uint64(n)
 	s.tel.packets.Add(int64(n))
-	res := s.pipeline(f, inPort, len(data))
+	res := s.pipeline(&s.frame, inPort, len(data))
 	if n > 1 {
 		// Account the remaining n-1 touches on the matched rule.
 		if res.Rule != nil {
@@ -650,6 +712,7 @@ func (s *Switch) SendPacketN(data []byte, inPort uint16, n int) (Result, error) 
 			if e != nil {
 				e.traffic += uint64(n - 1)
 				e.useSeq = s.nextEvent()
+				s.indexFix(e)
 			}
 			if e != nil && !e.inTCAM {
 				s.maybePromote(e)
@@ -819,6 +882,7 @@ func (s *Switch) touch(e *entry, r *flowtable.Rule, size int, now time.Time) {
 	if e != nil {
 		e.useSeq = s.nextEvent()
 		e.traffic++
+		s.indexFix(e)
 	}
 }
 

@@ -25,12 +25,16 @@ type switchTelemetry struct {
 	promotions  *telemetry.Counter
 	expirations *telemetry.Counter
 	resets      *telemetry.Counter
+	idxPushes   *telemetry.Counter
+	idxRemoves  *telemetry.Counter
+	idxFixups   *telemetry.Counter
 
 	tcamOcc   *telemetry.Gauge
 	softOcc   *telemetry.Gauge
 	kernelOcc *telemetry.Gauge
 
-	hFlowMod *telemetry.Histogram
+	hFlowMod  *telemetry.Histogram
+	hIdxDepth *telemetry.Histogram
 }
 
 func (t *switchTelemetry) init(reg *telemetry.Registry, tr *telemetry.Tracer, name string) {
@@ -46,10 +50,15 @@ func (t *switchTelemetry) init(reg *telemetry.Registry, tr *telemetry.Tracer, na
 	t.promotions = reg.Counter("switchsim.promotions")
 	t.expirations = reg.Counter("switchsim.expirations")
 	t.resets = reg.Counter("switchsim.resets")
+	t.idxPushes = reg.Counter("switchsim.evict_index.pushes")
+	t.idxRemoves = reg.Counter("switchsim.evict_index.removes")
+	t.idxFixups = reg.Counter("switchsim.evict_index.fixups")
 	t.tcamOcc = reg.Gauge("switchsim." + name + ".tcam_occupancy")
 	t.softOcc = reg.Gauge("switchsim." + name + ".software_occupancy")
 	t.kernelOcc = reg.Gauge("switchsim." + name + ".kernel_occupancy")
 	t.hFlowMod = reg.Histogram("switchsim.flowmod_ns")
+	t.hIdxDepth = reg.Histogram("switchsim.evict_index.depth",
+		1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
 }
 
 // enabled reports whether any per-operation work (spans, occupancy sets)

@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON snapshot: ns/op plus every custom metric, averaged
+// across -count repetitions. scripts/bench.sh pipes the headline benchmarks
+// through it to produce the per-PR BENCH_<n>.json perf trajectory.
+//
+//	go test -run '^$' -bench 'Table1|SizeInference' -count 3 . | go run ./scripts/benchjson
+//
+// With -baseline FILE, the benchmarks of a previous snapshot are embedded
+// under "baseline", so one file carries a PR's before/after comparison.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's averaged measurements.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Count   int                `json:"count"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the file layout of BENCH_<n>.json.
+type Snapshot struct {
+	Pkg        string      `json:"pkg,omitempty"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Baseline   []Benchmark `json:"baseline,omitempty"`
+}
+
+// benchLine matches e.g. "BenchmarkTable1-8  3  44002665 ns/op  2.000 worst-err-%".
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.eE+]+) ns/op(.*)$`)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "previous snapshot to embed under \"baseline\"")
+	flag.Parse()
+
+	var snap Snapshot
+	order := []string{}
+	sums := map[string]*Benchmark{}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			snap.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		b := sums[m[1]]
+		if b == nil {
+			b = &Benchmark{Name: m[1], Metrics: map[string]float64{}}
+			sums[m[1]] = b
+			order = append(order, m[1])
+		}
+		b.Count++
+		b.NsPerOp += ns
+		// The tail holds "value unit" metric pairs, tab separated.
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+				b.Metrics[fields[i+1]] += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	for _, name := range order {
+		b := sums[name]
+		b.NsPerOp /= float64(b.Count)
+		for k := range b.Metrics {
+			b.Metrics[k] /= float64(b.Count)
+		}
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		snap.Benchmarks = append(snap.Benchmarks, *b)
+	}
+
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var prev Snapshot
+		if err := json.Unmarshal(data, &prev); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -baseline %s: %v\n", *baselinePath, err)
+			os.Exit(1)
+		}
+		snap.Baseline = prev.Benchmarks
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
