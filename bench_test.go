@@ -16,6 +16,7 @@ import (
 	"strings"
 	"testing"
 
+	"tango/internal/core/sched"
 	"tango/internal/experiments"
 )
 
@@ -199,6 +200,63 @@ func BenchmarkFigure11(b *testing.B) {
 		enfWin = 100 * (1 - enf/dio)
 	}
 	b.ReportMetric(enfWin, "addonly-enforce-improv-%")
+}
+
+// schedWorkloadDims sizes BenchmarkSchedRun: a deep DAG (the Figure 11
+// shape) over a large fleet, so the benchmark exercises the per-round
+// frontier maintenance, the pattern oracle, and the executor together.
+const (
+	schedBenchSwitches = 32
+	schedBenchTotal    = 6400
+	schedBenchLevels   = 40
+	schedBenchSeed     = 11
+)
+
+func BenchmarkSchedRun(b *testing.B) {
+	_, db := experiments.SchedWorkload(schedBenchSwitches, schedBenchTotal, schedBenchLevels, schedBenchSeed)
+	tg := &sched.Tango{DB: db, SortPriorities: true}
+	ex := sched.CardExecutor{DB: db}
+
+	// The Dionysus/Tango makespan ratio is the paper-metric regression gate
+	// (Figure 10's headline): measured once, outside the timed loop.
+	gD, _ := experiments.SchedWorkload(schedBenchSwitches, schedBenchTotal, schedBenchLevels, schedBenchSeed)
+	dio, err := sched.Run(gD, sched.Dionysus{}, ex, sched.RunOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var makespan float64
+	for i := 0; i < b.N; i++ {
+		g, _ := experiments.SchedWorkload(schedBenchSwitches, schedBenchTotal, schedBenchLevels, schedBenchSeed)
+		res, err := sched.Run(g, tg, ex, sched.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespan = res.Makespan.Seconds()
+	}
+	b.ReportMetric(makespan, "makespan-s")
+	b.ReportMetric(dio.Makespan.Seconds()/makespan, "dio/tango-ratio")
+}
+
+func BenchmarkTangoOrder(b *testing.B) {
+	_, db := experiments.SchedWorkload(1, 1, 1, 1)
+	tg := &sched.Tango{DB: db, SortPriorities: true}
+	// One switch's worth of a big mixed round: the inner loop of every
+	// scheduling figure.
+	g, _ := experiments.SchedWorkload(1, 512, 1, schedBenchSeed)
+	reqs := make([]*sched.Request, 0, 512)
+	for _, id := range g.Nodes() {
+		reqs = append(reqs, g.Payload(id))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := tg.Order("bench-00", reqs, nil, nil); len(got) != len(reqs) {
+			b.Fatal("order dropped requests")
+		}
+	}
 }
 
 func BenchmarkFigure12(b *testing.B) {

@@ -101,8 +101,10 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event file (JSON) to this file")
 		faultSpec  = flag.String("faults", "", `control-channel fault spec for the conformance experiment, e.g. "drop=0.01,delay=0.05,seed=7" (see internal/faults)`)
 		parallel   = flag.Int("parallel", 1, "run up to this many experiments concurrently (0 = GOMAXPROCS); output order is unchanged")
+		schedWork  = flag.Int("sched-workers", 0, "worker pool size for per-switch batches inside the scheduling experiments (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	)
 	flag.Parse()
+	experiments.SchedWorkers = *schedWork
 
 	if _, err := faults.ParseSpec(*faultSpec); err != nil {
 		fmt.Fprintf(os.Stderr, "tangobench: -faults: %v\n", err)

@@ -251,53 +251,97 @@ type CurvePoint struct {
 // delete-before-add orderings score better when deletions target
 // high-priority rules.
 func (c *ScoreCard) EstimateOps(ops []Op, existingHigher func(uint16) int) time.Duration {
-	var total time.Duration
-	// prios tracks priorities of adds performed so far in the batch;
-	// deleted tracks priorities removed so far.
-	var prios, deleted []uint16
-	seen := map[uint16]bool{}
-	var lastKind OpKind
-	countAbove := func(s []uint16, p uint16) int {
-		at := sort.Search(len(s), func(i int) bool { return s[i] > p })
-		return len(s) - at
-	}
-	insertSorted := func(s []uint16, p uint16) []uint16 {
-		at := sort.Search(len(s), func(i int) bool { return s[i] >= p })
-		s = append(s, 0)
-		copy(s[at+1:], s[at:])
-		s[at] = p
-		return s
-	}
-	for i, op := range ops {
-		if i > 0 && op.Kind != lastKind {
-			total += c.TypeSwitch
+	var e Estimator
+	e.Begin(c, existingHigher)
+	e.Feed(ops)
+	return e.Total()
+}
+
+// countAbove returns how many entries of the ascending-sorted s exceed p.
+func countAbove(s []uint16, p uint16) int {
+	at := sort.Search(len(s), func(i int) bool { return s[i] > p })
+	return len(s) - at
+}
+
+// containsPriority reports whether the ascending-sorted s contains p.
+func containsPriority(s []uint16, p uint16) bool {
+	at := sort.Search(len(s), func(i int) bool { return s[i] >= p })
+	return at < len(s) && s[at] == p
+}
+
+// insertSorted inserts p into the ascending-sorted s.
+func insertSorted(s []uint16, p uint16) []uint16 {
+	at := sort.Search(len(s), func(i int) bool { return s[i] >= p })
+	s = append(s, 0)
+	copy(s[at+1:], s[at:])
+	s[at] = p
+	return s
+}
+
+// Estimator is the streaming form of ScoreCard.EstimateOps: Begin binds a
+// card, Feed folds op groups in, Total reads the running estimate. Feeding
+// a batch group by group prices the concatenated sequence, so a scheduler
+// can score every candidate group ordering without materializing each one
+// as a flat slice. The priority-tracking buffers are retained across Begin
+// calls, making a reused Estimator allocation-free in steady state. An
+// Estimator must not be used from multiple goroutines concurrently.
+type Estimator struct {
+	card           *ScoreCard
+	existingHigher func(uint16) int
+	// prios tracks priorities of adds fed so far; deleted tracks priorities
+	// removed so far. Membership in prios doubles as the seen-priority test:
+	// priorities are only ever inserted, never removed.
+	prios, deleted []uint16
+	total          time.Duration
+	lastKind       OpKind
+	started        bool
+}
+
+// Begin resets the estimator for a fresh sequence priced against card.
+func (e *Estimator) Begin(card *ScoreCard, existingHigher func(uint16) int) {
+	e.card = card
+	e.existingHigher = existingHigher
+	e.prios = e.prios[:0]
+	e.deleted = e.deleted[:0]
+	e.total = 0
+	e.started = false
+}
+
+// Feed folds the next ops of the sequence into the estimate.
+func (e *Estimator) Feed(ops []Op) {
+	c := e.card
+	for _, op := range ops {
+		if e.started && op.Kind != e.lastKind {
+			e.total += c.TypeSwitch
 		}
-		lastKind = op.Kind
+		e.started = true
+		e.lastKind = op.Kind
 		switch op.Kind {
 		case OpMod:
-			total += c.Mod
+			e.total += c.Mod
 		case OpDel:
-			total += c.Del
-			deleted = insertSorted(deleted, op.Priority)
+			e.total += c.Del
+			e.deleted = insertSorted(e.deleted, op.Priority)
 		case OpAdd:
-			higher := countAbove(prios, op.Priority)
-			if existingHigher != nil {
-				ex := existingHigher(op.Priority) - countAbove(deleted, op.Priority)
+			higher := countAbove(e.prios, op.Priority)
+			if e.existingHigher != nil {
+				ex := e.existingHigher(op.Priority) - countAbove(e.deleted, op.Priority)
 				if ex > 0 {
 					higher += ex
 				}
 			}
 			base := c.AddNewPriority
-			if seen[op.Priority] {
+			if containsPriority(e.prios, op.Priority) {
 				base = c.AddSamePriority
 			}
-			seen[op.Priority] = true
-			total += base + time.Duration(higher)*c.ShiftPerEntry
-			prios = insertSorted(prios, op.Priority)
+			e.total += base + time.Duration(higher)*c.ShiftPerEntry
+			e.prios = insertSorted(e.prios, op.Priority)
 		}
 	}
-	return total
 }
+
+// Total returns the estimate of everything fed since Begin.
+func (e *Estimator) Total() time.Duration { return e.total }
 
 // DB is the central Tango Score and Pattern Database: a concurrency-safe
 // registry of patterns and per-switch score cards. New patterns can be
@@ -306,6 +350,10 @@ type DB struct {
 	mu       sync.RWMutex
 	patterns map[string]Pattern
 	scores   map[string]*ScoreCard
+	// scoreVersion increments on every PutScore, letting callers that cache
+	// Score lookups (the scheduler memoizes cards per round) cheaply detect
+	// staleness.
+	scoreVersion uint64
 }
 
 // NewDB returns an empty database.
@@ -348,6 +396,16 @@ func (db *DB) PutScore(card *ScoreCard) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.scores[card.SwitchName] = card
+	db.scoreVersion++
+}
+
+// ScoreVersion returns a counter that changes whenever a score card is
+// stored. A cached Score result is valid as long as the version it was
+// taken at still matches.
+func (db *DB) ScoreVersion() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.scoreVersion
 }
 
 // Score returns the score card for a switch.

@@ -87,6 +87,8 @@ type Engine struct {
 	// frames caches built probe frames by flow ID — probing re-sends the
 	// same flows thousands of times.
 	frames map[uint32][]byte
+	// opScratch is the flow-mod TimeOps reuses across a batch's ops.
+	opScratch openflow.FlowMod
 
 	// Telemetry handles. All nil-safe: an engine built with no registry
 	// (and no process default installed) records nothing at no cost.
@@ -163,23 +165,39 @@ func (e *Engine) frame(id uint32) ([]byte, error) {
 	return f, nil
 }
 
-// flowMod builds the flow-mod for one pattern op.
-func flowMod(op pattern.Op) *openflow.FlowMod {
-	fm := &openflow.FlowMod{
+// Shared action slices for probe flow-mods. Devices retain (but never
+// mutate) the action slice of an installed rule, so all probe rules can
+// alias these two.
+var (
+	probeActions  = flowtable.Output(2)
+	modifyActions = flowtable.Output(3) // modify to a different action
+)
+
+// fillFlowMod populates fm in place for one pattern op, so batch paths can
+// reuse a single scratch struct instead of allocating per op. The actions
+// alias the shared slices above and must not be mutated.
+func fillFlowMod(fm *openflow.FlowMod, op pattern.Op) {
+	*fm = openflow.FlowMod{
 		Match:    flowtable.ExactProbeMatch(op.FlowID),
 		Priority: op.Priority,
-		Actions:  flowtable.Output(2),
+		Actions:  probeActions,
 	}
 	switch op.Kind {
 	case pattern.OpAdd:
 		fm.Command = openflow.FlowAdd
 	case pattern.OpMod:
 		fm.Command = openflow.FlowModifyStrict
-		fm.Actions = flowtable.Output(3) // modify to a different action
+		fm.Actions = modifyActions
 	case pattern.OpDel:
 		fm.Command = openflow.FlowDeleteStrict
 		fm.Actions = nil
 	}
+}
+
+// flowMod builds the flow-mod for one pattern op.
+func flowMod(op pattern.Op) *openflow.FlowMod {
+	fm := &openflow.FlowMod{}
+	fillFlowMod(fm, op)
 	return fm
 }
 
@@ -308,7 +326,11 @@ func (e *Engine) Run(p pattern.Pattern) (pattern.Result, error) {
 func (e *Engine) TimeOps(ops []pattern.Op) (time.Duration, error) {
 	start := e.dev.Now()
 	for _, op := range ops {
-		if err := e.flowMod(flowMod(op)); err != nil {
+		// One scratch flow-mod for the whole batch: the device send path is
+		// synchronous and devices copy what they keep, so per-op allocation
+		// would be pure garbage-collector load.
+		fillFlowMod(&e.opScratch, op)
+		if err := e.flowMod(&e.opScratch); err != nil {
 			return e.dev.Now().Sub(start), err
 		}
 	}

@@ -8,9 +8,14 @@
 package sched
 
 import (
+	"cmp"
 	"fmt"
+	"runtime"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tango/internal/core/pattern"
@@ -71,7 +76,8 @@ type Tango struct {
 	// with priority strictly above p the controller believes are resident
 	// on the switch — state the controller has, since it installed those
 	// rules. It lets the oracle see that deleting high-priority rules
-	// before adding saves TCAM shifts.
+	// before adding saves TCAM shifts. It must be safe for concurrent
+	// calls when the runner uses parallel workers (RunOptions.Workers).
 	ExistingHigher func(switchName string, p uint16) int
 	// Metrics, when set, receives the per-pattern score distribution
 	// (histogram "sched.pattern_score_ns": the estimated cost of every
@@ -81,6 +87,44 @@ type Tango struct {
 
 	scoreOnce sync.Once
 	hScore    *telemetry.Histogram
+
+	// cardMu guards the memoized DB.Score lookups below: one map lookup
+	// per Order call instead of a database round trip, invalidated by the
+	// database's score version.
+	cardMu      sync.RWMutex
+	cardVersion uint64
+	cardCache   map[string]*pattern.ScoreCard
+	// scratch pools the per-call ordering buffers, keeping Order
+	// allocation-lean and safe under concurrent per-switch calls.
+	scratch sync.Pool
+}
+
+// card resolves the switch's score card through the memoizing cache.
+func (t *Tango) card(switchName string) *pattern.ScoreCard {
+	if t.DB == nil {
+		return nil
+	}
+	v := t.DB.ScoreVersion()
+	t.cardMu.RLock()
+	if t.cardCache != nil && t.cardVersion == v {
+		if c, ok := t.cardCache[switchName]; ok {
+			t.cardMu.RUnlock()
+			return c
+		}
+	}
+	t.cardMu.RUnlock()
+	c, _ := t.DB.Score(switchName)
+	t.cardMu.Lock()
+	if t.cardCache == nil {
+		t.cardCache = make(map[string]*pattern.ScoreCard)
+	}
+	if t.cardVersion != v {
+		clear(t.cardCache)
+		t.cardVersion = v
+	}
+	t.cardCache[switchName] = c
+	t.cardMu.Unlock()
+	return c
 }
 
 // scoreHist lazily binds the pattern-score histogram.
@@ -105,76 +149,193 @@ func (t *Tango) Name() string {
 
 // Order implements Scheduler.
 func (t *Tango) Order(switchName string, reqs []*Request, _ []dag.NodeID, _ *Graph) []*Request {
-	var card *pattern.ScoreCard
-	if t.DB != nil {
-		card, _ = t.DB.Score(switchName)
+	// 12 = the 6 type-permutations × up to 2 add orders.
+	var scoreBuf [12]float64
+	ordered, scores, _ := t.plan(switchName, reqs, make([]*Request, 0, len(reqs)), scoreBuf[:0])
+	t.observeScores(scores)
+	return ordered
+}
+
+// observeScores folds candidate costs collected by plan into the
+// pattern-score histogram. The parallel runner calls this during its
+// deterministic aggregation pass, so histogram contents are identical
+// whatever the worker count.
+func (t *Tango) observeScores(scores []float64) {
+	if len(scores) == 0 {
+		return
 	}
+	h := t.scoreHist()
+	for _, v := range scores {
+		h.Observe(v)
+	}
+}
+
+// orderScratch holds the buffers one plan call needs: the three op-type
+// groups (adds twice, once per direction), their pattern.Op mirrors, and
+// the streaming estimator. Pooled on the Tango so steady-state ordering
+// allocates nothing.
+type orderScratch struct {
+	dels, mods, addsAsc, addsDesc         []*Request
+	opsDel, opsMod, opsAddAsc, opsAddDesc []pattern.Op
+	est                                   pattern.Estimator
+}
+
+// groupFor returns the request group for kind under the given add order.
+func (sc *orderScratch) groupFor(kind pattern.OpKind, asc bool) []*Request {
+	switch kind {
+	case pattern.OpDel:
+		return sc.dels
+	case pattern.OpMod:
+		return sc.mods
+	default:
+		if asc {
+			return sc.addsAsc
+		}
+		return sc.addsDesc
+	}
+}
+
+// opsFor returns the op mirror of groupFor.
+func (sc *orderScratch) opsFor(kind pattern.OpKind, asc bool) []pattern.Op {
+	switch kind {
+	case pattern.OpDel:
+		return sc.opsDel
+	case pattern.OpMod:
+		return sc.opsMod
+	default:
+		if asc {
+			return sc.opsAddAsc
+		}
+		return sc.opsAddDesc
+	}
+}
+
+func (t *Tango) getScratch() *orderScratch {
+	if sc, ok := t.scratch.Get().(*orderScratch); ok {
+		return sc
+	}
+	return &orderScratch{}
+}
+
+// deadlineCmp orders deadline-carrying requests first (earliest deadline
+// first) so best-effort requests absorb the tail of the batch — the
+// install_by semantics of the §6 request format.
+func deadlineCmp(a, b *Request) int {
+	da, db := a.InstallBy, b.InstallBy
+	switch {
+	case da > 0 && db > 0:
+		return cmp.Compare(da, db)
+	case da > 0:
+		return -1
+	case db > 0:
+		return 1
+	}
+	return 0
+}
+
+// addAscCmp and addDescCmp order adds by deadline, then priority. A single
+// stable sort on the composite key equals the former pair of stable sorts
+// (priority first, then deadline).
+func addAscCmp(a, b *Request) int {
+	if c := deadlineCmp(a, b); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Priority, b.Priority)
+}
+
+func addDescCmp(a, b *Request) int {
+	if c := deadlineCmp(a, b); c != 0 {
+		return c
+	}
+	return cmp.Compare(b.Priority, a.Priority)
+}
+
+// plan is the core of Order: it partitions reqs by op type into pooled
+// scratch groups in a single pass, prices the six type-permutations crossed
+// with the add orders against the switch's score card *without
+// materializing any candidate* (the candidates differ only in group
+// concatenation order, which the streaming estimator consumes group by
+// group), then appends the winning ordering to dst. Each candidate's
+// estimated cost is appended to scores for the caller to fold into the
+// pattern-score histogram — deferred so parallel workers can replay them
+// in deterministic order. Returns the extended dst and scores plus the
+// winning cost, -1 when the switch has no score card and the universally
+// safe fallback (deletes, modifies, adds ascending) was used.
+func (t *Tango) plan(switchName string, reqs []*Request, dst []*Request, scores []float64) ([]*Request, []float64, time.Duration) {
+	card := t.card(switchName)
+	sc := t.getScratch()
+	defer t.scratch.Put(sc)
+
+	sc.dels, sc.mods, sc.addsAsc = sc.dels[:0], sc.mods[:0], sc.addsAsc[:0]
+	for _, r := range reqs {
+		switch r.Op {
+		case pattern.OpDel:
+			sc.dels = append(sc.dels, r)
+		case pattern.OpMod:
+			sc.mods = append(sc.mods, r)
+		default:
+			sc.addsAsc = append(sc.addsAsc, r)
+		}
+	}
+	slices.SortStableFunc(sc.dels, deadlineCmp)
+	slices.SortStableFunc(sc.mods, deadlineCmp)
+	sortDesc := card != nil && t.SortPriorities
+	if sortDesc {
+		// The descending copy must branch off *before* the ascending sort:
+		// both directions tie-break equal keys by input order.
+		sc.addsDesc = append(sc.addsDesc[:0], sc.addsAsc...)
+		slices.SortStableFunc(sc.addsDesc, addDescCmp)
+	}
+	if t.SortPriorities {
+		slices.SortStableFunc(sc.addsAsc, addAscCmp)
+	} else {
+		slices.SortStableFunc(sc.addsAsc, deadlineCmp)
+	}
+
 	if card == nil {
 		// No measurements: fall back to the pattern that is never worse on
 		// any switch we have modelled.
-		return t.assemble(reqs, [3]pattern.OpKind{pattern.OpDel, pattern.OpMod, pattern.OpAdd}, true)
+		dst = append(dst, sc.dels...)
+		dst = append(dst, sc.mods...)
+		dst = append(dst, sc.addsAsc...)
+		return dst, scores, -1
 	}
+
+	sc.opsDel = appendOps(sc.opsDel[:0], sc.dels)
+	sc.opsMod = appendOps(sc.opsMod[:0], sc.mods)
+	sc.opsAddAsc = appendOps(sc.opsAddAsc[:0], sc.addsAsc)
+	if sortDesc {
+		sc.opsAddDesc = appendOps(sc.opsAddDesc[:0], sc.addsDesc)
+	}
+
 	var existing func(uint16) int
 	if t.ExistingHigher != nil {
 		existing = func(p uint16) int { return t.ExistingHigher(switchName, p) }
 	}
-	best := reqs
-	bestCost := time.Duration(-1)
-	addOrders := []bool{true}
+	directions := [2]bool{true, false}
+	addOrders := directions[:1]
 	if t.SortPriorities {
-		addOrders = []bool{true, false}
+		addOrders = directions[:]
 	}
-	hScore := t.scoreHist()
+	bestCost := time.Duration(-1)
+	bestPerm, bestAsc := pattern.Permutations3[0], true
 	for _, perm := range pattern.Permutations3 {
 		for _, asc := range addOrders {
-			candidate := t.assemble(reqs, perm, asc)
-			cost := card.EstimateOps(toOps(candidate), existing)
-			hScore.Observe(float64(cost))
+			sc.est.Begin(card, existing)
+			for _, kind := range perm {
+				sc.est.Feed(sc.opsFor(kind, asc))
+			}
+			cost := sc.est.Total()
+			scores = append(scores, float64(cost))
 			if bestCost < 0 || cost < bestCost {
-				bestCost = cost
-				best = candidate
+				bestCost, bestPerm, bestAsc = cost, perm, asc
 			}
 		}
 	}
-	return best
-}
-
-// assemble groups requests by type in perm order; adds are sorted by
-// priority (ascending or descending) when priority sorting is on. Within
-// every group, deadline-carrying requests come first (earliest deadline
-// first) so best-effort requests absorb the tail of the batch — the
-// install_by semantics of the §6 request format.
-func (t *Tango) assemble(reqs []*Request, perm [3]pattern.OpKind, asc bool) []*Request {
-	out := make([]*Request, 0, len(reqs))
-	for _, kind := range perm {
-		group := make([]*Request, 0, len(reqs))
-		for _, r := range reqs {
-			if r.Op == kind {
-				group = append(group, r)
-			}
-		}
-		if kind == pattern.OpAdd && t.SortPriorities {
-			sort.SliceStable(group, func(a, b int) bool {
-				if asc {
-					return group[a].Priority < group[b].Priority
-				}
-				return group[a].Priority > group[b].Priority
-			})
-		}
-		sort.SliceStable(group, func(a, b int) bool {
-			da, db := group[a].InstallBy, group[b].InstallBy
-			switch {
-			case da > 0 && db > 0:
-				return da < db
-			case da > 0:
-				return true
-			default:
-				return false
-			}
-		})
-		out = append(out, group...)
+	for _, kind := range bestPerm {
+		dst = append(dst, sc.groupFor(kind, bestAsc)...)
 	}
-	return out
+	return dst, scores, bestCost
 }
 
 // Dionysus is the baseline: critical-path scheduling that issues requests
@@ -202,13 +363,13 @@ func (Dionysus) Order(_ string, reqs []*Request, ids []dag.NodeID, g *Graph) []*
 	return out
 }
 
-// toOps converts requests to pattern ops.
-func toOps(reqs []*Request) []pattern.Op {
-	ops := make([]pattern.Op, len(reqs))
-	for i, r := range reqs {
-		ops[i] = pattern.Op{Kind: r.Op, FlowID: r.FlowID, Priority: r.Priority}
+// appendOps converts requests to pattern ops, appending into dst so
+// callers can reuse a scratch buffer.
+func appendOps(dst []pattern.Op, reqs []*Request) []pattern.Op {
+	for _, r := range reqs {
+		dst = append(dst, pattern.Op{Kind: r.Op, FlowID: r.FlowID, Priority: r.Priority})
 	}
-	return ops
+	return dst
 }
 
 // Executor issues an ordered batch of operations on one switch and reports
@@ -234,6 +395,18 @@ type RunOptions struct {
 	// in the next batch alongside the deferred remainder. Requires the
 	// scheduler to implement BatchEstimator; ignored otherwise.
 	NonGreedy bool
+	// Workers caps the goroutines ordering and executing a round's
+	// per-switch batches, which the paper's model says run in parallel.
+	// 0 (the default) uses GOMAXPROCS; 1 forces the serial path. Workers
+	// only compute: every result and every sched.* metric and trace span
+	// is folded in on the calling goroutine in sorted switch order, so
+	// RunResult and telemetry are identical whatever the worker count.
+	// The one behavioural difference from the old serial loop is that a
+	// failing batch no longer prevents the rest of its round from
+	// executing (the first failure in switch order is still the one
+	// reported). Schedulers and executors must tolerate concurrent
+	// per-switch calls when Workers != 1; the built-in ones do.
+	Workers int
 	// Metrics receives run counters (rounds, requests, deadline misses),
 	// the makespan gauge, and the per-batch duration histogram. Nil falls
 	// back to the process-wide default registry; with neither, the run
@@ -252,20 +425,19 @@ type BatchEstimator interface {
 }
 
 // EstimateBatch implements BatchEstimator using the Tango score database.
+// The winning candidate's score *is* the batch estimate, so no ordered
+// slice is re-priced.
 func (t *Tango) EstimateBatch(switchName string, reqs []*Request) (time.Duration, bool) {
 	if t.DB == nil {
 		return 0, false
 	}
-	card, ok := t.DB.Score(switchName)
-	if !ok {
+	var scoreBuf [12]float64
+	_, scores, cost := t.plan(switchName, reqs, nil, scoreBuf[:0])
+	t.observeScores(scores)
+	if cost < 0 {
 		return 0, false
 	}
-	ordered := t.Order(switchName, reqs, nil, nil)
-	var existing func(uint16) int
-	if t.ExistingHigher != nil {
-		existing = func(p uint16) int { return t.ExistingHigher(switchName, p) }
-	}
-	return card.EstimateOps(toOps(ordered), existing), true
+	return cost, true
 }
 
 // RunResult reports a schedule execution.
@@ -284,8 +456,59 @@ type RunResult struct {
 	DeadlineMisses int
 }
 
+// batchJob carries one switch's batch through a round: ids are assigned by
+// the grouping pass, the middle fields are filled by a worker, and the
+// aggregation pass folds them into the result. Jobs are pooled per switch
+// across rounds so their slices reach a steady state and stop allocating.
+type batchJob struct {
+	sw      string
+	round   int
+	ids     []dag.NodeID
+	reqs    []*Request
+	ordered []*Request
+	ops     []pattern.Op
+	scores  []float64
+	guards  time.Duration
+	elapsed time.Duration
+	err     error
+}
+
+// runBatches runs fn over every job on at most workers goroutines. Workers
+// claim jobs off a shared index, so the assignment of job to goroutine is
+// arbitrary — all determinism lives in the caller's aggregation pass.
+func runBatches(jobs []*batchJob, workers int, fn func(*batchJob)) {
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, job := range jobs {
+			fn(job)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(jobs) {
+					return
+				}
+				fn(jobs[n])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Run drains the graph with the given scheduler and executor, returning
-// the simulated network-wide makespan.
+// the simulated network-wide makespan. Each round reads the incremental
+// dependency frontier, orders and executes the per-switch batches on a
+// worker pool (RunOptions.Workers), folds the outcomes in deterministically,
+// and retires the round with one O(out-degree) batch removal.
 func Run(g *Graph, s Scheduler, exec Executor, opts RunOptions) (*RunResult, error) {
 	reg := opts.Metrics
 	if reg == nil {
@@ -302,13 +525,27 @@ func Run(g *Graph, s Scheduler, exec Executor, opts RunOptions) (*RunResult, err
 		gMakespan = reg.Gauge("sched.makespan_ns")
 		hBatch    = reg.Histogram("sched.batch_ns")
 	)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Tango defers its pattern-score telemetry to the aggregation pass so
+	// worker interleaving can't reorder histogram samples; other schedulers
+	// record from inside Order and are on their own under Workers > 1.
+	tango, _ := s.(*Tango)
 	res := &RunResult{PerSwitch: map[string]time.Duration{}}
+	var (
+		issue  []dag.NodeID
+		jobs   = map[string]*batchJob{}
+		active []*batchJob
+		round  int
+	)
 	for g.Len() > 0 {
-		indep := g.IndependentSet()
+		indep := g.Frontier()
 		if len(indep) == 0 {
 			return nil, fmt.Errorf("sched: dependency graph stuck with %d nodes", g.Len())
 		}
-		issue := append([]dag.NodeID(nil), indep...)
+		issue = append(issue[:0], indep...)
 		if opts.NonGreedy {
 			if est, ok := s.(BatchEstimator); ok {
 				issue = nonGreedyBatch(g, issue, est)
@@ -317,38 +554,61 @@ func Run(g *Graph, s Scheduler, exec Executor, opts RunOptions) (*RunResult, err
 		if opts.Concurrent {
 			issue = append(issue, crossSwitchFollowers(g, issue)...)
 		}
-		// Group by switch, preserving deterministic order.
-		bySwitch := map[string][]dag.NodeID{}
-		var switches []string
+		// Group by switch onto pooled jobs.
+		round++
+		active = active[:0]
 		for _, id := range issue {
 			sw := g.Payload(id).Switch
-			if _, ok := bySwitch[sw]; !ok {
-				switches = append(switches, sw)
+			job := jobs[sw]
+			if job == nil {
+				job = &batchJob{sw: sw}
+				jobs[sw] = job
 			}
-			bySwitch[sw] = append(bySwitch[sw], id)
+			if job.round != round {
+				job.round = round
+				job.ids = job.ids[:0]
+				active = append(active, job)
+			}
+			job.ids = append(job.ids, id)
 		}
-		sort.Strings(switches)
+		slices.SortFunc(active, func(a, b *batchJob) int { return strings.Compare(a.sw, b.sw) })
 
-		var roundMax time.Duration
-		for _, sw := range switches {
-			ids := bySwitch[sw]
-			reqs := make([]*Request, len(ids))
-			guards := time.Duration(0)
-			for i, id := range ids {
-				reqs[i] = g.Payload(id)
-				if opts.Concurrent && len(g.Predecessors(id)) > 0 {
-					guards += opts.GuardTime
+		// Order and execute the round's batches in parallel. Workers only
+		// read the graph; all mutation and accounting happens below.
+		runBatches(active, workers, func(job *batchJob) {
+			job.reqs = job.reqs[:0]
+			job.guards = 0
+			for _, id := range job.ids {
+				job.reqs = append(job.reqs, g.Payload(id))
+				if opts.Concurrent && g.InDegree(id) > 0 {
+					job.guards += opts.GuardTime
 				}
 			}
-			ordered := s.Order(sw, reqs, ids, g)
-			elapsed, err := exec.Execute(sw, toOps(ordered))
-			if err != nil {
-				return nil, fmt.Errorf("sched: executing %d ops on %s: %w", len(ordered), sw, err)
+			job.scores = job.scores[:0]
+			if tango != nil {
+				job.ordered, job.scores, _ = tango.plan(job.sw, job.reqs, job.ordered[:0], job.scores)
+			} else {
+				job.ordered = append(job.ordered[:0], s.Order(job.sw, job.reqs, job.ids, g)...)
 			}
-			elapsed += guards
-			res.PerSwitch[sw] += elapsed
+			job.ops = appendOps(job.ops[:0], job.ordered)
+			job.elapsed, job.err = exec.Execute(job.sw, job.ops)
+		})
+
+		// Deterministic aggregation in sorted switch order: results,
+		// counters, histograms, and trace spans all fold in here, so they
+		// are bit-for-bit independent of the worker count.
+		var roundMax time.Duration
+		for _, job := range active {
+			if job.err != nil {
+				return nil, fmt.Errorf("sched: executing %d ops on %s: %w", len(job.ordered), job.sw, job.err)
+			}
+			if tango != nil {
+				tango.observeScores(job.scores)
+			}
+			elapsed := job.elapsed + job.guards
+			res.PerSwitch[job.sw] += elapsed
 			finish := res.Makespan + elapsed
-			for _, r := range ordered {
+			for _, r := range job.ordered {
 				if r.InstallBy > 0 && finish > r.InstallBy {
 					res.DeadlineMisses++
 					mMisses.Add(1)
@@ -361,8 +621,8 @@ func Run(g *Graph, s Scheduler, exec Executor, opts RunOptions) (*RunResult, err
 			if tr != nil {
 				// Batches within a round run in parallel, so each starts at
 				// the round boundary of the composed virtual timeline.
-				tr.Record("sched.batch", sw, simclock.Epoch.Add(res.Makespan), elapsed,
-					map[string]any{"ops": len(ordered), "scheduler": s.Name(), "round": res.Rounds + 1})
+				tr.Record("sched.batch", job.sw, simclock.Epoch.Add(res.Makespan), elapsed,
+					map[string]any{"ops": len(job.ordered), "scheduler": s.Name(), "round": res.Rounds + 1})
 			}
 		}
 		if tr != nil {
@@ -373,10 +633,8 @@ func Run(g *Graph, s Scheduler, exec Executor, opts RunOptions) (*RunResult, err
 		mRequests.Add(int64(len(issue)))
 		res.Makespan += roundMax
 		res.Rounds++
-		for _, id := range issue {
-			if err := g.Remove(id); err != nil {
-				return nil, err
-			}
+		if _, err := g.RemoveBatch(issue); err != nil {
+			return nil, err
 		}
 	}
 	gMakespan.Set(int64(res.Makespan))
@@ -406,11 +664,13 @@ func nonGreedyBatch(g *Graph, indep []dag.NodeID, est BatchEstimator) []dag.Node
 		}
 		return m
 	}
-	// unlockedBy returns the nodes whose predecessors all sit in batch.
-	unlockedBy := func(batch map[dag.NodeID]bool) []dag.NodeID {
+	// unlockedBy returns the nodes whose predecessors all sit in the batch
+	// (given as both slice and set: the slice keeps iteration — and hence
+	// estimator telemetry — deterministic).
+	unlockedBy := func(ids []dag.NodeID, batch map[dag.NodeID]bool) []dag.NodeID {
 		var out []dag.NodeID
 		seen := map[dag.NodeID]bool{}
-		for id := range batch {
+		for _, id := range ids {
 			for _, succ := range g.Successors(id) {
 				if seen[succ] || batch[succ] {
 					continue
@@ -432,13 +692,20 @@ func nonGreedyBatch(g *Graph, indep []dag.NodeID, est BatchEstimator) []dag.Node
 	}
 	roundCost := func(ids []dag.NodeID) (time.Duration, bool) {
 		bySwitch := map[string][]*Request{}
+		var switches []string
 		for _, id := range ids {
 			r := g.Payload(id)
+			if _, ok := bySwitch[r.Switch]; !ok {
+				switches = append(switches, r.Switch)
+			}
 			bySwitch[r.Switch] = append(bySwitch[r.Switch], r)
 		}
+		// Estimate in sorted switch order so the score histogram fills
+		// identically on every run.
+		sort.Strings(switches)
 		var max time.Duration
-		for sw, reqs := range bySwitch {
-			d, ok := est.EstimateBatch(sw, reqs)
+		for _, sw := range switches {
+			d, ok := est.EstimateBatch(sw, bySwitch[sw])
 			if !ok {
 				return 0, false
 			}
@@ -451,10 +718,10 @@ func nonGreedyBatch(g *Graph, indep []dag.NodeID, est BatchEstimator) []dag.Node
 
 	// Greedy: round 1 = indep, round 2 = everything indep unlocks.
 	g1, ok1 := roundCost(indep)
-	g2, ok2 := roundCost(unlockedBy(inSet(indep)))
+	g2, ok2 := roundCost(unlockedBy(indep, inSet(indep)))
 	// Prefix: round 1 = prefix, round 2 = rest + what the prefix unlocks.
 	p1, ok3 := roundCost(prefix)
-	p2, ok4 := roundCost(append(append([]dag.NodeID(nil), rest...), unlockedBy(inSet(prefix))...))
+	p2, ok4 := roundCost(append(append([]dag.NodeID(nil), rest...), unlockedBy(prefix, inSet(prefix))...))
 	if !(ok1 && ok2 && ok3 && ok4) {
 		return indep
 	}

@@ -98,9 +98,13 @@ func (v *TableView) Priorities(sw string) []uint16 {
 
 // RunWithView drains the graph like Run and additionally folds every issued
 // request into the view as it completes, so the oracle's table-state
-// estimates stay current across rounds.
+// estimates stay current across rounds. The view couples batches *within*
+// a round — under the serial order a later switch's oracle reads observe an
+// earlier switch's applies — so view-tracked runs pin Workers to 1 to keep
+// that order deterministic.
 func RunWithView(g *Graph, s Scheduler, exec Executor, opts RunOptions, view *TableView) (*RunResult, error) {
 	tracking := viewTrackingExecutor{exec: exec, view: view}
+	opts.Workers = 1
 	return Run(g, s, tracking, opts)
 }
 

@@ -18,12 +18,28 @@ type NodeID int
 
 // Graph is a mutable DAG with arbitrary per-node payloads.
 // The zero value is an empty graph ready for use.
+//
+// Alongside the adjacency lists the graph maintains an incremental Kahn
+// frontier: a live-indegree counter per node and the set of live nodes whose
+// counter is zero. Remove and RemoveBatch update both in O(out-degree), so
+// the scheduler's round loop never rescans the whole graph; IndependentSet
+// recomputes the same set from scratch and is kept as the differential-test
+// reference.
 type Graph[T any] struct {
 	payload []T
 	succ    [][]NodeID
 	pred    [][]NodeID
 	removed []bool
 	live    int
+
+	// indeg[i] counts live predecessors of live node i (stale for removed
+	// nodes). inFrontier marks nodes with indeg zero; frontier lists them,
+	// possibly with stale or duplicate entries that Frontier() compacts
+	// lazily (membership truth lives in inFrontier).
+	indeg         []int
+	inFrontier    []bool
+	frontier      []NodeID
+	frontierClean bool
 }
 
 // New returns an empty graph.
@@ -37,6 +53,11 @@ func (g *Graph[T]) AddNode(v T) NodeID {
 	g.pred = append(g.pred, nil)
 	g.removed = append(g.removed, false)
 	g.live++
+	g.indeg = append(g.indeg, 0)
+	g.inFrontier = append(g.inFrontier, true)
+	// Appending the new maximum ID preserves the compacted (sorted, no
+	// stale entries) state, so frontierClean is left as-is.
+	g.frontier = append(g.frontier, id)
 	return id
 }
 
@@ -72,6 +93,13 @@ func (g *Graph[T]) AddEdge(from, to NodeID) error {
 	}
 	g.succ[from] = append(g.succ[from], to)
 	g.pred[to] = append(g.pred[to], from)
+	g.indeg[to]++
+	if g.inFrontier[to] {
+		// Lazy eviction: the stale slice entry is filtered on the next
+		// Frontier() compaction.
+		g.inFrontier[to] = false
+		g.frontierClean = false
+	}
 	return nil
 }
 
@@ -109,14 +137,115 @@ func (g *Graph[T]) Payload(id NodeID) T { return g.payload[id] }
 func (g *Graph[T]) SetPayload(id NodeID, v T) { g.payload[id] = v }
 
 // Remove marks a node finished and detaches it from the graph, potentially
-// promoting its successors into the independent set.
+// promoting its successors into the independent set. The frontier is
+// maintained incrementally in O(out-degree).
 func (g *Graph[T]) Remove(id NodeID) error {
 	if err := g.check(id); err != nil {
 		return err
 	}
+	g.detach(id, nil)
+	return nil
+}
+
+// detach removes a checked-live node, decrements its live successors'
+// indegree counters, and promotes newly-unblocked successors into the
+// frontier. When emit is non-nil, promoted nodes are appended to *emit.
+func (g *Graph[T]) detach(id NodeID, emit *[]NodeID) {
 	g.removed[id] = true
 	g.live--
-	return nil
+	if g.inFrontier[id] {
+		g.inFrontier[id] = false
+		g.frontierClean = false
+	}
+	for _, s := range g.succ[id] {
+		if g.removed[s] {
+			continue
+		}
+		g.indeg[s]--
+		if g.indeg[s] == 0 {
+			g.inFrontier[s] = true
+			g.frontier = append(g.frontier, s)
+			g.frontierClean = false
+			if emit != nil {
+				*emit = append(*emit, s)
+			}
+		}
+	}
+}
+
+// RemoveBatch removes every node in ids (all must be live; duplicates are
+// rejected as ErrBadNode on the second occurrence) and returns the nodes the
+// batch newly unblocked — live nodes whose last live predecessor was in the
+// batch — in ascending ID order. Nodes removed by the batch itself are never
+// reported, so issuing a frontier slice plus co-issued followers works. Cost
+// is O(Σ out-degree(ids) + k log k) for k unblocked nodes, independent of
+// graph size.
+func (g *Graph[T]) RemoveBatch(ids []NodeID) ([]NodeID, error) {
+	for i, id := range ids {
+		err := g.check(id)
+		if err == nil {
+			// Marking inside the validation loop doubles as duplicate
+			// detection; the marks are cleared before detaching.
+			g.removed[id] = true
+			continue
+		}
+		for _, done := range ids[:i] {
+			g.removed[done] = false
+		}
+		return nil, err
+	}
+	for _, id := range ids {
+		g.removed[id] = false
+	}
+	var unblocked []NodeID
+	for _, id := range ids {
+		g.detach(id, &unblocked)
+	}
+	// A batch member can be "unblocked" by an earlier member before its own
+	// detach; filter those and sort what remains.
+	out := unblocked[:0]
+	for _, id := range unblocked {
+		if !g.removed[id] {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// Frontier returns the live nodes with no live predecessors in ascending ID
+// order — the same set IndependentSet computes by scanning, maintained
+// incrementally. The returned slice is owned by the graph and valid until
+// the next mutation.
+func (g *Graph[T]) Frontier() []NodeID {
+	if !g.frontierClean {
+		g.compactFrontier()
+	}
+	return g.frontier
+}
+
+// compactFrontier drops stale and duplicate entries and sorts. Amortised
+// O(f log f) for f frontier entries: every entry was appended by exactly one
+// promotion (or AddNode), and compaction consumes them.
+func (g *Graph[T]) compactFrontier() {
+	kept := g.frontier[:0]
+	for _, id := range g.frontier {
+		if g.inFrontier[id] && !g.removed[id] {
+			kept = append(kept, id)
+		}
+	}
+	sort.Slice(kept, func(a, b int) bool { return kept[a] < kept[b] })
+	// Dedupe adjacent entries: a node that left and re-entered the frontier
+	// between compactions appears twice.
+	out := kept[:0]
+	for i, id := range kept {
+		if i > 0 && id == kept[i-1] {
+			continue
+		}
+		out = append(out, id)
+	}
+	g.frontier = out
+	g.frontierClean = true
 }
 
 // Removed reports whether id has been removed.
@@ -145,6 +274,10 @@ func (g *Graph[T]) Successors(id NodeID) []NodeID {
 	}
 	return out
 }
+
+// InDegree returns the number of live predecessors of id without
+// materializing them — the counter the incremental frontier maintains.
+func (g *Graph[T]) InDegree(id NodeID) int { return g.indeg[id] }
 
 // Predecessors returns the live predecessors of id.
 func (g *Graph[T]) Predecessors(id NodeID) []NodeID {

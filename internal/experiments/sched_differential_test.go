@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"tango/internal/core/sched"
+	"tango/internal/telemetry"
+)
+
+// schedRunOutput captures everything a sched.Run produces: the result, the
+// run's full metric snapshot, and its trace events (wall timestamps zeroed —
+// they are the only legitimately nondeterministic field).
+type schedRunOutput struct {
+	res    *sched.RunResult
+	snap   *telemetry.Snapshot
+	events []telemetry.SpanEvent
+}
+
+// runSchedOnce executes one scheduling run against a fresh registry and
+// tracer. build must return a fresh graph and scheduler each call (Tango
+// memoizes per-instance state; graphs are consumed by the run).
+func runSchedOnce(t *testing.T, g *sched.Graph, s sched.Scheduler, exec sched.Executor, opts sched.RunOptions) schedRunOutput {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(nil)
+	opts.Metrics = reg
+	opts.Tracer = tr
+	if tg, ok := s.(*sched.Tango); ok {
+		tg.Metrics = reg
+	}
+	res, err := sched.Run(g, s, exec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	snap.TakenAt = time.Time{}
+	events := tr.Events()
+	for i := range events {
+		events[i].Wall = time.Time{}
+	}
+	return schedRunOutput{res: res, snap: snap, events: events}
+}
+
+// diffOutputs fails the test if two runs differ anywhere: result fields,
+// every counter/gauge/histogram (including quantiles, whose sample ring is
+// order-sensitive — the sharpest detector of nondeterministic aggregation),
+// or any trace span.
+func diffOutputs(t *testing.T, label string, serial, parallel schedRunOutput) {
+	t.Helper()
+	if !reflect.DeepEqual(serial.res, parallel.res) {
+		t.Errorf("%s: RunResult diverged:\nserial:   %+v\nparallel: %+v", label, serial.res, parallel.res)
+	}
+	if !reflect.DeepEqual(serial.snap, parallel.snap) {
+		t.Errorf("%s: metric snapshots diverged:\nserial:   %+v\nparallel: %+v", label, serial.snap, parallel.snap)
+	}
+	if !reflect.DeepEqual(serial.events, parallel.events) {
+		t.Errorf("%s: trace events diverged (%d vs %d events)", label, len(serial.events), len(parallel.events))
+	}
+}
+
+// TestRunParallelDifferential is the randomized gate for the parallel
+// scheduler core: across seeds and the full option matrix (greedy vs
+// non-greedy batching, concurrent cross-switch extension on/off, Tango vs
+// Dionysus), a run with a worker pool must be bit-for-bit identical to the
+// serial path — RunResult, metrics, and traces. CI runs it under -race,
+// which also exercises the worker pool for data races.
+func TestRunParallelDifferential(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		_, db := SchedWorkload(8, 400, 10, seed)
+		exec := sched.CardExecutor{DB: db}
+		newTango := func() sched.Scheduler {
+			return &sched.Tango{DB: db, SortPriorities: true}
+		}
+		newDionysus := func() sched.Scheduler { return sched.Dionysus{} }
+		schedulers := []struct {
+			name string
+			make func() sched.Scheduler
+		}{
+			{"tango", newTango},
+			{"dionysus", newDionysus},
+		}
+		options := []struct {
+			name string
+			opts sched.RunOptions
+		}{
+			{"greedy", sched.RunOptions{}},
+			{"nongreedy", sched.RunOptions{NonGreedy: true}},
+			{"concurrent", sched.RunOptions{Concurrent: true, GuardTime: 2 * time.Millisecond}},
+			{"nongreedy+concurrent", sched.RunOptions{NonGreedy: true, Concurrent: true, GuardTime: 2 * time.Millisecond}},
+		}
+		for _, sc := range schedulers {
+			for _, oc := range options {
+				label := fmt.Sprintf("seed=%d/%s/%s", seed, sc.name, oc.name)
+				serialOpts := oc.opts
+				serialOpts.Workers = 1
+				parallelOpts := oc.opts
+				parallelOpts.Workers = 8
+				gs, _ := SchedWorkload(8, 400, 10, seed)
+				serial := runSchedOnce(t, gs, sc.make(), exec, serialOpts)
+				gp, _ := SchedWorkload(8, 400, 10, seed)
+				parallel := runSchedOnce(t, gp, sc.make(), exec, parallelOpts)
+				diffOutputs(t, label, serial, parallel)
+			}
+		}
+	}
+}
+
+// TestRunParallelDifferentialEngines repeats the serial-vs-parallel check
+// with real emulated engines (stateful switches on virtual clocks) on the
+// hardware-testbed scenarios, covering the EngineExecutor path.
+func TestRunParallelDifferentialEngines(t *testing.T) {
+	profiles := TestbedProfiles()
+	db := BuildScoreDB(profiles)
+	scenarios := []struct {
+		name  string
+		build func() (*sched.Graph, map[string]PreloadSpec)
+	}{
+		{"LF", func() (*sched.Graph, map[string]PreloadSpec) { return LFScenario(120, 3) }},
+		{"TE", func() (*sched.Graph, map[string]PreloadSpec) { return TEScenario(300, 2, 1, 1, 3) }},
+	}
+	for _, sc := range scenarios {
+		run := func(workers int) schedRunOutput {
+			g, preload := sc.build()
+			ex := ExecutorFor(profiles, preload, 5)
+			s := &sched.Tango{DB: db, SortPriorities: true, ExistingHigher: ExistingHigherFor(preload)}
+			return runSchedOnce(t, g, s, ex, sched.RunOptions{Workers: workers})
+		}
+		diffOutputs(t, sc.name, run(1), run(6))
+	}
+}
+
+// TestSchedGolden pins makespan and round count for one Tango and one
+// Dionysus run over the seeded benchmark workload, so both scheduler
+// behaviour and its determinism are regression-gated. These values change
+// only if scheduling semantics change — not with worker count, allocation
+// strategy, or frontier implementation.
+func TestSchedGolden(t *testing.T) {
+	_, db := SchedWorkload(8, 800, 10, 7)
+	exec := sched.CardExecutor{DB: db}
+
+	gT, _ := SchedWorkload(8, 800, 10, 7)
+	tango, err := sched.Run(gT, &sched.Tango{DB: db, SortPriorities: true}, exec, sched.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gD, _ := SchedWorkload(8, 800, 10, 7)
+	dio, err := sched.Run(gD, sched.Dionysus{}, exec, sched.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tango: makespan=%v rounds=%d; dionysus: makespan=%v rounds=%d",
+		tango.Makespan, tango.Rounds, dio.Makespan, dio.Rounds)
+	const (
+		wantTangoMakespan = 349625 * time.Microsecond
+		wantTangoRounds   = 10
+		wantDioMakespan   = 362344250 * time.Nanosecond
+		wantDioRounds     = 10
+	)
+	if tango.Makespan != wantTangoMakespan || tango.Rounds != wantTangoRounds {
+		t.Errorf("tango run: makespan=%v rounds=%d, want %v/%d", tango.Makespan, tango.Rounds, wantTangoMakespan, wantTangoRounds)
+	}
+	if dio.Makespan != wantDioMakespan || dio.Rounds != wantDioRounds {
+		t.Errorf("dionysus run: makespan=%v rounds=%d, want %v/%d", dio.Makespan, dio.Rounds, wantDioMakespan, wantDioRounds)
+	}
+}

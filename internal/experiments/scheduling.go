@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"tango/internal/classbench"
@@ -17,6 +18,18 @@ import (
 	"tango/internal/topo"
 	"tango/internal/update"
 )
+
+// SchedWorkers is the worker-pool size the scheduling experiments pass to
+// sched.RunOptions.Workers: 0 (the default) lets the runner use GOMAXPROCS,
+// 1 forces the serial path. Results are identical either way — the runner
+// aggregates deterministically — so this only trades wall-clock time.
+// cmd/tangobench exposes it as -sched-workers.
+var SchedWorkers int
+
+// schedRunOptions returns the experiments' standard run options.
+func schedRunOptions() sched.RunOptions {
+	return sched.RunOptions{Workers: SchedWorkers}
+}
 
 // Table2 reproduces Table 2: per ClassBench file, the flow count and the
 // sizes of the two priority assignments, plus how many flows install.
@@ -76,11 +89,7 @@ func ascendingByPriority(prios []uint16) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	for i := 1; i < len(idx); i++ {
-		for j := i; j > 0 && prios[idx[j]] < prios[idx[j-1]]; j-- {
-			idx[j], idx[j-1] = idx[j-1], idx[j]
-		}
-	}
+	sort.SliceStable(idx, func(a, b int) bool { return prios[idx[a]] < prios[idx[b]] })
 	return idx
 }
 
@@ -352,7 +361,7 @@ func Figure10() *Table {
 		run := func(s sched.Scheduler) time.Duration {
 			g, preload := sc.build(1)
 			ex := ExecutorFor(profiles, preload, 5)
-			res, err := sched.Run(g, s, ex, sched.RunOptions{})
+			res, err := sched.Run(g, s, ex, schedRunOptions())
 			if err != nil {
 				panic(err)
 			}
@@ -395,7 +404,7 @@ func Figure11() *Table {
 		}
 		run := func(s sched.Scheduler, g *sched.Graph, preload map[string]PreloadSpec) time.Duration {
 			ex := ExecutorFor(profiles, preload, 5)
-			res, err := sched.Run(g, s, ex, sched.RunOptions{})
+			res, err := sched.Run(g, s, ex, schedRunOptions())
 			if err != nil {
 				panic(err)
 			}
@@ -538,7 +547,7 @@ func Figure12(flows int) *Table {
 			panic(err)
 		}
 		ex := ExecutorFor(profiles, nil, 9)
-		res, err := sched.Run(gCopy, s, ex, sched.RunOptions{})
+		res, err := sched.Run(gCopy, s, ex, schedRunOptions())
 		if err != nil {
 			panic(err)
 		}
@@ -559,3 +568,72 @@ func Figure12(flows int) *Table {
 
 // dagID converts a stored int back to a DAG node ID.
 func dagID(i int) dag.NodeID { return dag.NodeID(i) }
+
+// SchedWorkload builds a large synthetic scheduling workload for benchmarks
+// and differential tests: `total` requests spread round-robin over
+// `switches` switches in `levels` dependency levels (the Figure 11 DAG-depth
+// parameterisation), with a mixed add/mod/del op stream and seeded random
+// priorities and cross-level dependencies. The returned score database holds
+// one hardware-style card per switch with per-switch cost variation, so the
+// pattern oracle has real choices to make.
+func SchedWorkload(switches, total, levels int, seed int64) (*sched.Graph, *pattern.DB) {
+	if switches <= 0 || total <= 0 || levels <= 0 {
+		panic("experiments: SchedWorkload needs positive sizes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := sched.NewGraph()
+	var prevLevel []dag.NodeID
+	perLevel := total / levels
+	idx := 0
+	for lvl := 0; lvl < levels; lvl++ {
+		count := perLevel
+		if lvl == levels-1 {
+			count = total - idx
+		}
+		cur := make([]dag.NodeID, 0, count)
+		for i := 0; i < count; i++ {
+			sw := fmt.Sprintf("bench-%02d", idx%switches)
+			r := &sched.Request{Switch: sw, HasPriority: true}
+			switch rng.Intn(4) {
+			case 0:
+				r.Op = pattern.OpMod
+				r.FlowID = uint32(idx)
+				r.Priority = 100
+			case 1:
+				r.Op = pattern.OpDel
+				r.FlowID = uint32(delTargetBase + idx)
+				r.Priority = delTargetPriority
+			default:
+				r.Op = pattern.OpAdd
+				r.FlowID = uint32(50000 + idx)
+				r.Priority = uint16(1000 + rng.Intn(total))
+			}
+			id := g.AddNode(r)
+			cur = append(cur, id)
+			if lvl > 0 {
+				// One or two parents from the previous level keep the DAG
+				// connected without letting edge count explode.
+				for p := 0; p < 1+rng.Intn(2); p++ {
+					parent := prevLevel[rng.Intn(len(prevLevel))]
+					_ = g.AddEdge(parent, id)
+				}
+			}
+			idx++
+		}
+		prevLevel = cur
+	}
+	db := pattern.NewDB()
+	for s := 0; s < switches; s++ {
+		v := time.Duration(s)
+		db.PutScore(&pattern.ScoreCard{
+			SwitchName:      fmt.Sprintf("bench-%02d", s),
+			AddSamePriority: 400*time.Microsecond + v*3*time.Microsecond,
+			AddNewPriority:  900*time.Microsecond + v*5*time.Microsecond,
+			ShiftPerEntry:   14*time.Microsecond + v*time.Microsecond/4,
+			Mod:             6*time.Millisecond + v*20*time.Microsecond,
+			Del:             2*time.Millisecond + v*10*time.Microsecond,
+			TypeSwitch:      300*time.Microsecond + v*2*time.Microsecond,
+		})
+	}
+	return g, db
+}

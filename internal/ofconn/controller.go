@@ -285,14 +285,23 @@ func (c *Controller) FlowMod(fm *openflow.FlowMod) error {
 		return err
 	}
 	if err := c.send(fm); err != nil {
+		// Both XIDs must be released on every error path: a leaked entry
+		// stays in pending forever and misroutes a late reply that happens
+		// to reuse the XID after wraparound.
+		c.unregister(fmXID)
+		c.unregister(barXID)
 		return err
 	}
 	if err := c.send(&openflow.BarrierRequest{Header: openflow.Header{Xid: barXID}}); err != nil {
 		c.unregister(fmXID)
+		c.unregister(barXID)
 		return err
 	}
 	if _, err := c.await(barXID, barCh); err != nil {
+		// await already unregistered barXID on timeout; unregistering again
+		// is a harmless idempotent delete, and covers the other error paths.
 		c.unregister(fmXID)
+		c.unregister(barXID)
 		return err
 	}
 	// The agent loop writes any error before the barrier reply, so a
@@ -318,32 +327,42 @@ func (c *Controller) FlowMod(fm *openflow.FlowMod) error {
 // rejection, if any; later ops in the batch still execute (OpenFlow has no
 // transactional abort).
 func (c *Controller) FlowMods(fms []*openflow.FlowMod) error {
+	// unwind releases every XID registered so far; called on each error
+	// path so no pending entry outlives the batch.
+	registered := 0
+	unwind := func() {
+		for _, fm := range fms[:registered] {
+			c.unregister(fm.XID())
+		}
+	}
 	errChs := make([]chan openflow.Message, len(fms))
 	for i, fm := range fms {
 		xid, ch, err := c.register()
 		if err != nil {
+			unwind()
 			return err
 		}
 		fm.SetXID(xid)
 		errChs[i] = ch
+		registered++
 		if err := c.send(fm); err != nil {
+			unwind()
 			return err
 		}
 	}
 	barXID, barCh, err := c.register()
 	if err != nil {
+		unwind()
 		return err
 	}
 	if err := c.send(&openflow.BarrierRequest{Header: openflow.Header{Xid: barXID}}); err != nil {
-		for _, fm := range fms {
-			c.unregister(fm.XID())
-		}
+		unwind()
+		c.unregister(barXID)
 		return err
 	}
 	if _, err := c.await(barXID, barCh); err != nil {
-		for _, fm := range fms {
-			c.unregister(fm.XID())
-		}
+		unwind()
+		c.unregister(barXID)
 		return err
 	}
 	var first error

@@ -1,0 +1,126 @@
+package ofconn
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"tango/internal/flowtable"
+	"tango/internal/openflow"
+	"tango/internal/switchsim"
+)
+
+// failingWriteConn wraps a live connection and starts failing writes after
+// `allow` more succeed, while reads keep working — so the controller's read
+// loop stays healthy and any pending-map cleanup observed is the work of
+// the send error paths, not of connection teardown.
+type failingWriteConn struct {
+	net.Conn
+	mu    sync.Mutex
+	armed bool
+	allow int
+}
+
+func (f *failingWriteConn) arm(allow int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed = true
+	f.allow = allow
+}
+
+func (f *failingWriteConn) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	fail := f.armed && f.allow <= 0
+	if f.armed && f.allow > 0 {
+		f.allow--
+	}
+	f.mu.Unlock()
+	if fail {
+		return 0, errors.New("injected write failure")
+	}
+	return f.Conn.Write(p)
+}
+
+func (c *Controller) pendingLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+func dialFlaky(t *testing.T) (*Controller, *failingWriteConn) {
+	t.Helper()
+	sw := switchsim.New(switchsim.Switch2(), switchsim.WithClock(fastClock()))
+	addr := startSwitch(t, sw)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &failingWriteConn{Conn: raw}
+	c, err := NewController(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, fc
+}
+
+func probeAdd(id uint32) *openflow.FlowMod {
+	return &openflow.FlowMod{
+		Command:  openflow.FlowAdd,
+		Match:    flowtable.ExactProbeMatch(id),
+		Priority: 10,
+		Actions:  flowtable.Output(1),
+	}
+}
+
+// TestFlowModSendFailureReleasesXIDs pins the regression: a failed send must
+// unregister both the flow-mod and barrier XIDs, on every error path. A
+// leaked entry would sit in pending forever and misroute a late reply that
+// reuses the XID.
+func TestFlowModSendFailureReleasesXIDs(t *testing.T) {
+	c, fc := dialFlaky(t)
+
+	// Fail the flow-mod write itself.
+	fc.arm(0)
+	if err := c.FlowMod(probeAdd(1)); err == nil {
+		t.Fatal("FlowMod with failing send: want error")
+	}
+	if n := c.pendingLen(); n != 0 {
+		t.Fatalf("flow-mod send failure leaked %d pending XIDs", n)
+	}
+
+	// Let the flow-mod through and fail the barrier write.
+	fc.arm(1)
+	if err := c.FlowMod(probeAdd(2)); err == nil {
+		t.Fatal("FlowMod with failing barrier send: want error")
+	}
+	if n := c.pendingLen(); n != 0 {
+		t.Fatalf("barrier send failure leaked %d pending XIDs", n)
+	}
+}
+
+// TestFlowModsSendFailureReleasesXIDs covers the batch path: a write failing
+// mid-batch (or at the barrier) must unwind every XID registered so far.
+func TestFlowModsSendFailureReleasesXIDs(t *testing.T) {
+	c, fc := dialFlaky(t)
+	batch := []*openflow.FlowMod{probeAdd(1), probeAdd(2), probeAdd(3)}
+
+	// Fail on the third flow-mod write: two XIDs already registered.
+	fc.arm(2)
+	if err := c.FlowMods(batch); err == nil {
+		t.Fatal("FlowMods with failing send: want error")
+	}
+	if n := c.pendingLen(); n != 0 {
+		t.Fatalf("mid-batch send failure leaked %d pending XIDs", n)
+	}
+
+	// Let all flow-mods through and fail the barrier write.
+	fc.arm(3)
+	if err := c.FlowMods(batch); err == nil {
+		t.Fatal("FlowMods with failing barrier send: want error")
+	}
+	if n := c.pendingLen(); n != 0 {
+		t.Fatalf("batch barrier send failure leaked %d pending XIDs", n)
+	}
+}
