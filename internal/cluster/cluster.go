@@ -18,6 +18,7 @@ package cluster
 import (
 	"errors"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -84,7 +85,7 @@ func Find(xs []float64, opts Options) (Result, error) {
 	for i, v := range xs {
 		ss[i] = sample{v, i}
 	}
-	sort.Slice(ss, func(a, b int) bool { return ss[a].v < ss[b].v })
+	sortSamples(ss)
 
 	span := ss[len(ss)-1].v - ss[0].v
 	opts = opts.withDefaults(span)
@@ -202,6 +203,23 @@ type sample struct {
 	idx int
 }
 
+// sortSamples orders samples by value. The generic sort avoids the
+// reflection-based swapper of sort.Slice, which showed up in inference
+// profiles (clustering sorts thousands of RTTs per level). Ties carry equal
+// values, so the unstable order never changes boundaries or assignments.
+func sortSamples(ss []sample) {
+	slices.SortFunc(ss, func(a, b sample) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
 // gapBoundaries returns sorted-sample indices where a new cluster begins,
 // capped so at most opts.MaxClusters segments result.
 func gapBoundaries(ss []sample, opts Options) []int {
@@ -254,6 +272,10 @@ func gapBoundaries(ss []sample, opts Options) []int {
 func kmeans1D(values, centroids []float64, iters int) []int {
 	k := len(centroids)
 	assign := make([]int, len(values))
+	// Accumulator scratch is hoisted out of the iteration loop; Lloyd's
+	// refinement otherwise allocates two fresh slices per pass.
+	sums := make([]float64, k)
+	counts := make([]int, k)
 	for it := 0; it < iters; it++ {
 		sort.Float64s(centroids)
 		changed := false
@@ -270,8 +292,8 @@ func kmeans1D(values, centroids []float64, iters int) []int {
 		if !changed && it > 0 {
 			break
 		}
-		sums := make([]float64, k)
-		counts := make([]int, k)
+		clear(sums)
+		clear(counts)
 		for i, v := range values {
 			sums[assign[i]] += v
 			counts[assign[i]]++
@@ -301,7 +323,7 @@ func FindK(xs []float64, k int) (Result, error) {
 	for i, v := range xs {
 		ss[i] = sample{v, i}
 	}
-	sort.Slice(ss, func(a, b int) bool { return ss[a].v < ss[b].v })
+	sortSamples(ss)
 	values := make([]float64, len(ss))
 	for i, s := range ss {
 		values[i] = s.v

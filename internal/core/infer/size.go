@@ -105,29 +105,65 @@ func ProbeSizes(e *probe.Engine, opts SizeOptions) (*SizeResult, error) {
 	tr := e.Tracer()
 	sizeStart := e.Device().Now()
 
-	// Stage 1: doubling installation.
+	// Stage 1: doubling installation. Over a pipelined channel each round's
+	// installs go out as one batch behind shared barriers, then every new
+	// rule gets its allocation packet — the packets only drive traffic-led
+	// cache placement, so they need not interleave with the installs.
+	// Serial devices keep the install/probe interleave, which leaves
+	// emulator runs (virtual clock, one shared RNG stream) byte-identical
+	// to the pre-pipelining engine. Measurement probes (stages 2 and 3) are
+	// strictly serial on every device: each RTT classifies a rule into a
+	// latency tier, and pipelining them would fold queueing delay into the
+	// very signal being clustered.
 	installed := 0
+	pipelined := e.Pipelined()
+	var roundIDs []uint32
 	for target := 1; !res.CacheFull && installed < opts.MaxRules; target *= 2 {
 		if target > opts.MaxRules {
 			target = opts.MaxRules
 		}
 		roundStart := e.Device().Now()
-		for i := installed; i < target; i++ {
-			if err := e.Install(opts.FlowIDBase+uint32(i), opts.Priority); err != nil {
+		if pipelined {
+			roundIDs = roundIDs[:0]
+			for i := installed; i < target; i++ {
+				roundIDs = append(roundIDs, opts.FlowIDBase+uint32(i))
+			}
+			roundBase := installed
+			n, err := e.InstallBatch(roundIDs, opts.Priority)
+			installed += n
+			if err != nil {
 				// Only a genuine capacity rejection terminates the doubling;
-				// anything else (channel fault, exhausted retries) is a real
-				// failure the caller must see.
+				// anything else (channel fault) is a real failure the caller
+				// must see.
 				if !errors.Is(err, switchsim.ErrTableFull) {
-					return nil, fmt.Errorf("infer: install rule %d: %w", i, err)
+					return nil, fmt.Errorf("infer: install rule %d: %w", installed, err)
 				}
 				res.CacheFull = true
-				break
 			}
-			installed++
-			if _, _, err := e.Probe(opts.FlowIDBase + uint32(i)); err != nil {
-				return nil, err
+			for i := roundBase; i < installed; i++ {
+				if _, _, err := e.Probe(opts.FlowIDBase + uint32(i)); err != nil {
+					return nil, err
+				}
+				res.ProbesSent++
 			}
-			res.ProbesSent++
+		} else {
+			for i := installed; i < target; i++ {
+				if err := e.Install(opts.FlowIDBase+uint32(i), opts.Priority); err != nil {
+					// Only a genuine capacity rejection terminates the doubling;
+					// anything else (channel fault, exhausted retries) is a real
+					// failure the caller must see.
+					if !errors.Is(err, switchsim.ErrTableFull) {
+						return nil, fmt.Errorf("infer: install rule %d: %w", i, err)
+					}
+					res.CacheFull = true
+					break
+				}
+				installed++
+				if _, _, err := e.Probe(opts.FlowIDBase + uint32(i)); err != nil {
+					return nil, err
+				}
+				res.ProbesSent++
+			}
 		}
 		if tr != nil {
 			tr.Record("probe.round", "", roundStart, e.Device().Now().Sub(roundStart),
@@ -156,6 +192,23 @@ func ProbeSizes(e *probe.Engine, opts SizeOptions) (*SizeResult, error) {
 	}
 	res.Clusters = cl.Clusters
 
+	// With a single tier everything fits in one layer and the estimate is m
+	// itself (sampling would degenerate to p̂→1 with capped runs), so the
+	// sampling stage — thousands of probes whose outcome is ignored — is
+	// skipped entirely.
+	if len(cl.Clusters) == 1 {
+		res.Levels = append(res.Levels, LevelEstimate{
+			MeanRTT: time.Duration(cl.Clusters[0].Mean),
+			Size:    m,
+			Census:  cl.Clusters[0].Count,
+		})
+		if tr != nil {
+			tr.Record("infer.size", "", sizeStart, e.Device().Now().Sub(sizeStart),
+				map[string]any{"rules": m, "levels": 1, "probes": res.ProbesSent, "full": res.CacheFull})
+		}
+		return res, nil
+	}
+
 	// Stage 3: negative-binomial sampling per level.
 	for level := range cl.Clusters {
 		levelStart := e.Device().Now()
@@ -174,11 +227,6 @@ func ProbeSizes(e *probe.Engine, opts SizeOptions) (*SizeResult, error) {
 				map[string]any{"level": level, "size": size, "probes": probes})
 		}
 	}
-	// With a single tier everything fits in one layer; the estimate is m
-	// itself (sampling would degenerate to p̂→1 with capped runs).
-	if len(cl.Clusters) == 1 {
-		res.Levels[0].Size = m
-	}
 	if tr != nil {
 		tr.Record("infer.size", "", sizeStart, e.Device().Now().Sub(sizeStart),
 			map[string]any{"rules": m, "levels": len(res.Levels), "probes": res.ProbesSent, "full": res.CacheFull})
@@ -194,14 +242,17 @@ func estimateLevel(e *probe.Engine, rng *rand.Rand, opts SizeOptions, m int, clu
 	if targetProbes < 3000 {
 		targetProbes = 3000
 	}
-	var trials []int
+	// Only the MLE's sufficient statistics (trial count and total run
+	// length) are kept; the per-trial slice would be thousands of entries
+	// of pure append traffic.
+	trialK, trialSum := 0, 0
 	probes := 0
 	for {
 		if opts.Trials > 0 {
-			if len(trials) >= opts.Trials {
+			if trialK >= opts.Trials {
 				break
 			}
-		} else if len(trials) >= 64 && probes >= targetProbes {
+		} else if trialK >= 64 && probes >= targetProbes {
 			break
 		}
 		j := 0
@@ -217,9 +268,10 @@ func estimateLevel(e *probe.Engine, rng *rand.Rand, opts SizeOptions, m int, clu
 			}
 			j++
 		}
-		trials = append(trials, j)
+		trialK++
+		trialSum += j
 	}
-	p, err := stats.NegBinomialMLE(trials)
+	p, err := stats.NegBinomialMLESums(trialK, trialSum)
 	if err != nil {
 		return 0, probes, err
 	}

@@ -39,6 +39,28 @@ type TrafficSender interface {
 	SendTraffic(data []byte, inPort uint16, count int) error
 }
 
+// PipelinedDevice is the optional Device extension for control channels
+// that can pipeline flow-mods (ofconn.Controller's asynchronous send path):
+// FlowModBatch applies the ops in order with a shared trailing barrier and
+// returns per-op outcomes — errs has len(fms), errs[i] nil when op i was
+// accepted, and the second return reports channel-level failures only.
+// Later ops still execute after a rejection (OpenFlow has no transactional
+// abort). Devices that cannot pipeline — including SimDevice, whose virtual
+// clock makes barriers free — simply don't implement it and keep the
+// confirmed per-op path, which leaves emulator runs byte-identical.
+type PipelinedDevice interface {
+	FlowModBatch(fms []*openflow.FlowMod) ([]error, error)
+}
+
+// FrameDevice is the optional Device extension for injecting a frame the
+// engine already decoded, skipping the per-packet parse. size is the encoded
+// length (it drives byte counters and latency models); the device must not
+// retain f past the call. Results must be identical to sending the frame's
+// encoding n times.
+type FrameDevice interface {
+	SendFrameN(f *packet.Frame, inPort uint16, size, n int) (rtt time.Duration, punted bool, err error)
+}
+
 // SimDevice adapts an emulated switch to the Device interface using its
 // virtual clock, so probing an emulated switch is instantaneous in wall
 // time while observing exactly the modelled latencies.
@@ -75,18 +97,49 @@ func (d SimDevice) SendTraffic(data []byte, inPort uint16, count int) error {
 	return err
 }
 
+// SendFrameN implements FrameDevice on the emulated switch's pre-decoded
+// injection path.
+func (d SimDevice) SendFrameN(f *packet.Frame, inPort uint16, size, n int) (time.Duration, bool, error) {
+	res, err := d.S.SendFrameN(f, inPort, size, n)
+	if err != nil {
+		return 0, false, err
+	}
+	return res.RTT, res.Path == switchsim.PathControl, nil
+}
+
+// cachedFrame is one frame-cache slot: the encoded probe frame plus its
+// decoded form for devices that accept pre-parsed frames.
+type cachedFrame struct {
+	data  []byte
+	frame packet.Frame
+	// buf backs data for payload-less probes, making each cache slot a
+	// single allocation; frames with payloads spill to the heap.
+	buf [64]byte
+}
+
 // Engine executes patterns against one device.
 type Engine struct {
 	dev Device
+	// frameDev is dev's FrameDevice view, resolved once at construction;
+	// nil when the device only accepts encoded packets.
+	frameDev FrameDevice
+	// pipeDev is dev's PipelinedDevice view; nil for serial-only devices.
+	pipeDev PipelinedDevice
 	// InPort is the ingress port probe frames claim; the default 1 works
 	// for all emulated profiles.
 	InPort uint16
 	// Retry bounds recovery from transient channel failures; the zero
 	// value keeps the engine single-attempt.
 	Retry Retry
-	// frames caches built probe frames by flow ID — probing re-sends the
-	// same flows thousands of times.
-	frames map[uint32][]byte
+	// The frame cache: probing re-sends the same flows thousands of times,
+	// and flow IDs run densely upward from a pattern's FlowIDBase. Slots
+	// within frameWindow of the first-seen ID live in frameWin, indexed by
+	// offset — one bounds check instead of a map hash per probe. IDs
+	// outside the window (sparse sweeps such as microflow detection) fall
+	// back to frameOver. ResetFrames invalidates both.
+	frameWin  []*cachedFrame
+	frameBase uint32
+	frameOver map[uint32]*cachedFrame
 	// opScratch is the flow-mod TimeOps reuses across a batch's ops.
 	opScratch openflow.FlowMod
 
@@ -99,13 +152,17 @@ type Engine struct {
 	mTraffic   *telemetry.Counter
 	mRetries   *telemetry.Counter
 	mExhausted *telemetry.Counter
+	mFrameHits *telemetry.Counter
+	mFrameMiss *telemetry.Counter
 	hRTT       *telemetry.Histogram
 }
 
 // NewEngine returns an engine driving dev, bound to the process-wide
 // default telemetry (a no-op unless a command installed one).
 func NewEngine(dev Device) *Engine {
-	e := &Engine{dev: dev, InPort: 1, frames: make(map[uint32][]byte)}
+	e := &Engine{dev: dev, InPort: 1}
+	e.frameDev, _ = dev.(FrameDevice)
+	e.pipeDev, _ = dev.(PipelinedDevice)
 	e.SetTelemetry(telemetry.Default(), telemetry.DefaultTracer())
 	return e
 }
@@ -120,6 +177,8 @@ func (e *Engine) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	e.mTraffic = reg.Counter("probe.traffic_packets")
 	e.mRetries = reg.Counter("probe.retries")
 	e.mExhausted = reg.Counter("probe.retry_exhausted")
+	e.mFrameHits = reg.Counter("probe.frame_cache_hits")
+	e.mFrameMiss = reg.Counter("probe.frame_cache_misses")
 	e.hRTT = reg.Histogram("probe.rtt_ns")
 }
 
@@ -138,6 +197,12 @@ func (e *Engine) Device() Device { return e.dev }
 // would leak a duplicate table slot.
 func (e *Engine) flowMod(fm *openflow.FlowMod) error {
 	e.mFlowMods.Add(1)
+	if !e.Retry.enabled() {
+		// Single-attempt engines skip withRetry: with retry disabled it is
+		// exactly one attempt, and the closure it would take heap-allocates
+		// per call — pure garbage on the bulk-install path.
+		return e.dev.FlowMod(fm)
+	}
 	var scrub func()
 	if fm.Command == openflow.FlowAdd && e.Retry.enabled() {
 		scrub = func() {
@@ -152,17 +217,59 @@ func (e *Engine) flowMod(fm *openflow.FlowMod) error {
 	return e.withRetry("flowmod", func() error { return e.dev.FlowMod(fm) }, scrub)
 }
 
-// frame returns (building if needed) the probe frame for flow id.
-func (e *Engine) frame(id uint32) ([]byte, error) {
-	if f, ok := e.frames[id]; ok {
-		return f, nil
+// frameWindow bounds how far past the first-seen flow ID the dense cache
+// window extends. 32Ki slots cover every doubling phase the default MaxRules
+// budget can reach while keeping the worst-case window at 256KiB of slots.
+const frameWindow = 1 << 15
+
+// frame returns (building if needed) the cached probe frame for flow id, in
+// both encoded and decoded form.
+func (e *Engine) frame(id uint32) (*cachedFrame, error) {
+	// id < frameBase wraps the offset to a huge value and falls through to
+	// the overflow map, as intended.
+	if off := id - e.frameBase; e.frameWin != nil && off < uint32(len(e.frameWin)) {
+		if cf := e.frameWin[off]; cf != nil {
+			e.mFrameHits.Add(1)
+			return cf, nil
+		}
+	} else if cf, ok := e.frameOver[id]; ok {
+		e.mFrameHits.Add(1)
+		return cf, nil
 	}
-	f, err := packet.BuildProbe(packet.ProbeSpec{FlowID: id})
+	e.mFrameMiss.Add(1)
+	cf := &cachedFrame{}
+	data, err := packet.AppendBuildProbe(cf.buf[:0], packet.ProbeSpec{FlowID: id})
 	if err != nil {
 		return nil, err
 	}
-	e.frames[id] = f
-	return f, nil
+	cf.data = data
+	if err := packet.DecodeInto(&cf.frame, data); err != nil {
+		return nil, err
+	}
+	if e.frameWin == nil {
+		e.frameBase = id
+		e.frameWin = make([]*cachedFrame, 1, 256)
+	}
+	if off := id - e.frameBase; off < frameWindow {
+		for uint32(len(e.frameWin)) <= off {
+			e.frameWin = append(e.frameWin, nil)
+		}
+		e.frameWin[off] = cf
+	} else {
+		if e.frameOver == nil {
+			e.frameOver = make(map[uint32]*cachedFrame)
+		}
+		e.frameOver[id] = cf
+	}
+	return cf, nil
+}
+
+// ResetFrames invalidates the frame cache. Callers that power-cycle or swap
+// the device mid-run (fault injection) use it to drop frames built for the
+// previous incarnation.
+func (e *Engine) ResetFrames() {
+	clear(e.frameWin)
+	clear(e.frameOver)
 }
 
 // Shared action slices for probe flow-mods. Devices retain (but never
@@ -201,25 +308,30 @@ func flowMod(op pattern.Op) *openflow.FlowMod {
 	return fm
 }
 
-// Install adds the probe rule for flow id at the given priority.
+// Install adds the probe rule for flow id at the given priority. Like the
+// other single-op helpers it reuses the engine's scratch flow-mod: devices
+// copy what they keep, so per-op allocation would be pure collector load.
 func (e *Engine) Install(id uint32, priority uint16) error {
-	return e.flowMod(flowMod(pattern.Op{Kind: pattern.OpAdd, FlowID: id, Priority: priority}))
+	fillFlowMod(&e.opScratch, pattern.Op{Kind: pattern.OpAdd, FlowID: id, Priority: priority})
+	return e.flowMod(&e.opScratch)
 }
 
 // Modify rewrites the actions of flow id's rule.
 func (e *Engine) Modify(id uint32, priority uint16) error {
-	return e.flowMod(flowMod(pattern.Op{Kind: pattern.OpMod, FlowID: id, Priority: priority}))
+	fillFlowMod(&e.opScratch, pattern.Op{Kind: pattern.OpMod, FlowID: id, Priority: priority})
+	return e.flowMod(&e.opScratch)
 }
 
 // Delete removes flow id's rule.
 func (e *Engine) Delete(id uint32, priority uint16) error {
-	return e.flowMod(flowMod(pattern.Op{Kind: pattern.OpDel, FlowID: id, Priority: priority}))
+	fillFlowMod(&e.opScratch, pattern.Op{Kind: pattern.OpDel, FlowID: id, Priority: priority})
+	return e.flowMod(&e.opScratch)
 }
 
 // Probe sends flow id's frame and returns its RTT and whether it punted.
 // Transient send failures retry under the engine's Retry policy.
 func (e *Engine) Probe(id uint32) (time.Duration, bool, error) {
-	f, err := e.frame(id)
+	cf, err := e.frame(id)
 	if err != nil {
 		return 0, false, err
 	}
@@ -227,11 +339,21 @@ func (e *Engine) Probe(id uint32) (time.Duration, bool, error) {
 		rtt    time.Duration
 		punted bool
 	)
-	err = e.withRetry("probe", func() error {
-		var aerr error
-		rtt, punted, aerr = e.dev.SendProbe(f, e.InPort)
-		return aerr
-	}, nil)
+	if !e.Retry.enabled() {
+		// Single-attempt fast path: no retry closure, and devices that take
+		// pre-decoded frames skip the per-probe packet parse.
+		if e.frameDev != nil {
+			rtt, punted, err = e.frameDev.SendFrameN(&cf.frame, e.InPort, len(cf.data), 1)
+		} else {
+			rtt, punted, err = e.dev.SendProbe(cf.data, e.InPort)
+		}
+	} else {
+		err = e.withRetry("probe", func() error {
+			var aerr error
+			rtt, punted, aerr = e.dev.SendProbe(cf.data, e.InPort)
+			return aerr
+		}, nil)
+	}
 	if err == nil {
 		e.mProbes.Add(1)
 		e.hRTT.Observe(float64(rtt))
@@ -248,13 +370,20 @@ func (e *Engine) SendTraffic(id uint32, count int) error {
 	if count <= 0 {
 		return nil
 	}
-	f, err := e.frame(id)
+	cf, err := e.frame(id)
 	if err != nil {
 		return err
 	}
+	if e.frameDev != nil && !e.Retry.enabled() {
+		if _, _, err := e.frameDev.SendFrameN(&cf.frame, e.InPort, len(cf.data), count); err != nil {
+			return err
+		}
+		e.mTraffic.Add(int64(count))
+		return nil
+	}
 	if ts, ok := e.dev.(TrafficSender); ok {
 		if err := e.withRetry("traffic", func() error {
-			return ts.SendTraffic(f, e.InPort, count)
+			return ts.SendTraffic(cf.data, e.InPort, count)
 		}, nil); err != nil {
 			return err
 		}
@@ -263,7 +392,7 @@ func (e *Engine) SendTraffic(id uint32, count int) error {
 	}
 	for i := 0; i < count; i++ {
 		if err := e.withRetry("traffic", func() error {
-			_, _, aerr := e.dev.SendProbe(f, e.InPort)
+			_, _, aerr := e.dev.SendProbe(cf.data, e.InPort)
 			return aerr
 		}, nil); err != nil {
 			return err
@@ -337,10 +466,68 @@ func (e *Engine) TimeOps(ops []pattern.Op) (time.Duration, error) {
 	return e.dev.Now().Sub(start), nil
 }
 
+// Pipelined reports whether batch operations will ride the device's
+// pipelined path. Retry-hardened engines stay serial: the retry policy's
+// scrub-and-reissue semantics are defined per confirmed op, not per batch.
+func (e *Engine) Pipelined() bool {
+	return e.pipeDev != nil && !e.Retry.enabled()
+}
+
+// InstallBatch installs the probe rules for ids, all at priority p, and
+// returns how many of the leading ids are now installed. Over a pipelined
+// channel the whole batch shares trailing barriers (one per in-flight
+// window) instead of paying a round trip per rule; the serial fallback
+// loops confirmed Installs. Both paths stop counting at the first
+// rejection, and for an add-only batch that leaves identical table state —
+// once a table rejects an add, it rejects every later one too — so the two
+// are interchangeable: same count, same resident rules, same error.
+func (e *Engine) InstallBatch(ids []uint32, p uint16) (int, error) {
+	if !e.Pipelined() {
+		for i, id := range ids {
+			if err := e.Install(id, p); err != nil {
+				return i, err
+			}
+		}
+		return len(ids), nil
+	}
+	fms := make([]*openflow.FlowMod, len(ids))
+	for i, id := range ids {
+		fms[i] = flowMod(pattern.Op{Kind: pattern.OpAdd, FlowID: id, Priority: p})
+	}
+	e.mFlowMods.Add(int64(len(ids)))
+	errs, err := e.pipeDev.FlowModBatch(fms)
+	if err != nil {
+		return 0, err
+	}
+	for i, opErr := range errs {
+		if opErr != nil {
+			return i, opErr
+		}
+	}
+	return len(ids), nil
+}
+
+// ClearBatch deletes the probe rules for flows [base, base+n) at priority
+// p, batched over the pipelined path when available. Deletes go out in the
+// same ascending order as the serial loop and rejections are ignored (a
+// no-op delete is not an error), so both paths leave identical state.
+func (e *Engine) ClearBatch(base, n uint32, p uint16) {
+	if !e.Pipelined() {
+		for id := base; id < base+n; id++ {
+			_ = e.Delete(id, p)
+		}
+		return
+	}
+	fms := make([]*openflow.FlowMod, n)
+	for i := range fms {
+		fms[i] = flowMod(pattern.Op{Kind: pattern.OpDel, FlowID: base + uint32(i), Priority: p})
+	}
+	e.mFlowMods.Add(int64(n))
+	_, _ = e.pipeDev.FlowModBatch(fms)
+}
+
 // ClearProbeRules removes the probe rules for flows [base, base+n) at
 // priority p, restoring a switch between probing rounds.
 func (e *Engine) ClearProbeRules(base, n uint32, p uint16) {
-	for id := base; id < base+n; id++ {
-		_ = e.Delete(id, p)
-	}
+	e.ClearBatch(base, n, p)
 }

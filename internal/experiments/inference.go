@@ -2,11 +2,58 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"tango/internal/core/infer"
 	"tango/internal/core/probe"
 	"tango/internal/switchsim"
 )
+
+// InferWorkers is the worker-pool size the per-profile inference
+// experiments (Table 1, size/policy accuracy, reported-vs-inferred) fan out
+// across — the conformance harness's Options.Workers pattern applied to the
+// evaluation catalog. Every cell owns its switch, engine, and RNG, and the
+// results fold in deterministic profile order, so output is byte-identical
+// at any setting; 0 means GOMAXPROCS, 1 forces the old serial behaviour.
+// Set from tangobench's -infer-workers flag.
+var InferWorkers int
+
+// runCells invokes fn(i) for every cell index in [0, n), fanning out across
+// InferWorkers goroutines. Cells must be independent and write results only
+// to their own index-addressed slot; callers fold the slots in input order
+// afterwards, which keeps tables identical at any worker count.
+func runCells(n int, fn func(int)) {
+	workers := InferWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
 
 // policyMatrix is the policy sweep of the §7.1 inference evaluation.
 func policyMatrix() []struct {
@@ -73,7 +120,11 @@ func SizeAccuracy() *Table {
 	s1.SoftwareCapacity = 4096
 	cells = append(cells, cell{"Switch#1 (+default route)", s1, 2047})
 
-	for i, c := range cells {
+	// One worker-pool cell per (design, policy) profile; each builds its own
+	// seeded switch and engine, and the rows fold back in catalog order.
+	rows := make([][]string, len(cells))
+	runCells(len(cells), func(i int) {
+		c := cells[i]
 		var opts []switchsim.Option
 		opts = append(opts, switchsim.WithSeed(int64(i)))
 		if c.name == "Switch#1 (+default route)" {
@@ -83,21 +134,22 @@ func SizeAccuracy() *Table {
 		e := probe.NewEngine(probe.SimDevice{S: sw})
 		res, err := infer.ProbeSizes(e, infer.SizeOptions{Seed: int64(i)})
 		if err != nil {
-			t.Rows = append(t.Rows, []string{c.name, "-", "-", "error: " + err.Error(), "-", "-", "-"})
-			continue
+			rows[i] = []string{c.name, "-", "-", "error: " + err.Error(), "-", "-", "-"}
+			return
 		}
 		est, census := res.Levels[0].Size, res.Levels[0].Census
 		policy := c.prof.CachePolicy.String()
 		if c.prof.Kind == switchsim.ManageTCAMOnly {
 			policy = "(tcam only)"
 		}
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			c.name, policy,
 			fmt.Sprintf("%d", c.actual),
 			fmt.Sprintf("%d", est), fmtPct(relError(est, c.actual)),
 			fmt.Sprintf("%d", census), fmtPct(relError(census, c.actual)),
-		})
-	}
+		}
+	})
+	t.Rows = append(t.Rows, rows...)
 	return t
 }
 
@@ -120,23 +172,27 @@ func PolicyAccuracy() *Table {
 		Header: []string{"true policy", "inferred", "correct", "rounds"},
 	}
 	const cache = 100
-	for i, pm := range policyMatrixExtended() {
+	matrix := policyMatrixExtended()
+	rows := make([][]string, len(matrix))
+	runCells(len(matrix), func(i int) {
+		pm := matrix[i]
 		sw := switchsim.New(switchsim.TestSwitch(cache, pm.policy), switchsim.WithSeed(int64(i)))
 		e := probe.NewEngine(probe.SimDevice{S: sw})
 		res, err := infer.ProbePolicy(e, infer.PolicyOptions{CacheSize: cache, Seed: int64(i + 1)})
 		if err != nil {
-			t.Rows = append(t.Rows, []string{pm.policy.String(), "error: " + err.Error(), "no", "-"})
-			continue
+			rows[i] = []string{pm.policy.String(), "error: " + err.Error(), "no", "-"}
+			return
 		}
 		correct := "no"
 		if res.Policy.Equal(pm.policy) {
 			correct = "yes"
 		}
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			pm.policy.String(), res.Policy.String(), correct,
 			fmt.Sprintf("%d", len(res.Rounds)),
-		})
-	}
+		}
+	})
+	t.Rows = append(t.Rows, rows...)
 	// OVS: correctly reported as traffic-driven/inconclusive.
 	sw := switchsim.New(switchsim.OVS())
 	e := probe.NewEngine(probe.SimDevice{S: sw})

@@ -28,7 +28,9 @@ func ReportedVsInferred() *Table {
 		{switchsim.Switch2(), nil},
 		{switchsim.Switch3(), nil},
 	}
-	for i, c := range cases {
+	rows := make([][]string, len(cases))
+	runCells(len(cases), func(i int) {
+		c := cases[i]
 		sw := switchsim.New(c.prof, append(c.opts, switchsim.WithSeed(int64(i)))...)
 		// What the switch reports: OFPST_TABLE max_entries for the TCAM.
 		replies := sw.Handle(&openflow.StatsRequest{StatsType: openflow.StatsTypeTable})
@@ -46,15 +48,16 @@ func ReportedVsInferred() *Table {
 		e := probe.NewEngine(probe.SimDevice{S: sw})
 		res, err := infer.ProbeSizes(e, infer.SizeOptions{Seed: int64(i)})
 		if err != nil {
-			t.Rows = append(t.Rows, []string{c.prof.Name, fmt.Sprint(reported), "error: " + err.Error(), "-"})
-			continue
+			rows[i] = []string{c.prof.Name, fmt.Sprint(reported), "error: " + err.Error(), "-"}
+			return
 		}
 		inferred := res.Levels[0].Census
 		disc := "none"
 		if int(reported) != inferred {
 			disc = fmt.Sprintf("%+d", inferred-int(reported))
 		}
-		t.Rows = append(t.Rows, []string{c.prof.Name, fmt.Sprint(reported), fmt.Sprint(inferred), disc})
-	}
+		rows[i] = []string{c.prof.Name, fmt.Sprint(reported), fmt.Sprint(inferred), disc}
+	})
+	t.Rows = append(t.Rows, rows...)
 	return t
 }

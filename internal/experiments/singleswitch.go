@@ -34,7 +34,9 @@ func Table1() *Table {
 		{"Switch#3", switchsim.Switch3(), switchsim.Switch3()},
 	}
 	const budget = 6000
-	for _, r := range rows {
+	out := make([][]string, len(rows))
+	runCells(len(rows), func(i int) {
+		r := rows[i]
 		nTCAM := tcamResidency(r.narrow, false, budget)
 		wTCAM := tcamResidency(r.wide, true, budget)
 		var soft string
@@ -48,8 +50,9 @@ func Table1() *Table {
 		if r.narrow.Kind == switchsim.ManageMicroflow {
 			nStr, wStr = "<inf (kernel)", "<inf (kernel)"
 		}
-		t.Rows = append(t.Rows, []string{r.name, soft, nStr, wStr})
-	}
+		out[i] = []string{r.name, soft, nStr, wStr}
+	})
+	t.Rows = append(t.Rows, out...)
 	return t
 }
 

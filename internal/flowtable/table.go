@@ -1,6 +1,7 @@
 package flowtable
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net/netip"
@@ -58,6 +59,11 @@ type Rule struct {
 	// keep ordering deterministic among equal-priority rules and to serve
 	// as a tie-free "time since insertion" attribute.
 	seq uint64
+
+	// Ext is an opaque slot for the rule's owner. The switch emulator hangs
+	// its per-rule cache bookkeeping here so hot paths resolve rule→entry
+	// without a map lookup; the table itself never reads it.
+	Ext any
 }
 
 // Seq returns the rule's insertion sequence number within its table.
@@ -78,41 +84,97 @@ type Table struct {
 	// tables are "virtually unlimited").
 	Capacity int
 
-	// exact indexes rules that pin both IP endpoints to single addresses
-	// (the shape every probe rule has), keyed by (src, dst). Lookups check
-	// the index plus the small residue of non-indexable rules, which keeps
-	// probing workloads — tens of thousands of packets against thousands of
-	// rules — linear instead of quadratic. wild holds the non-indexable
-	// rules in table order.
-	exact map[ipPair][]*Rule
+	// exact indexes rules that pin both IPv4 endpoints to single addresses
+	// (the shape every probe rule has), keyed by the two addresses packed
+	// into one uint64. Lookups check the index plus the small residue of
+	// non-indexable rules, which keeps probing workloads — tens of thousands
+	// of packets against thousands of rules — linear instead of quadratic,
+	// and the integer key hashes several times faster than a struct of two
+	// netip.Addr (which dominated lookup profiles). wild holds the
+	// non-indexable rules in table order.
+	exact map[uint64]exactBucket
 	wild  []*Rule
 }
 
-// ipPair is the exact-index key.
-type ipPair struct {
-	src, dst netip.Addr
+// exactBucket holds the rules sharing one exact-index key. The first rule is
+// inline: almost every key maps to exactly one rule, and keeping that rule
+// out of a slice saves a heap allocation per insert — which bulk probing
+// workloads pay tens of thousands of times.
+type exactBucket struct {
+	one  *Rule
+	more []*Rule
 }
 
-// indexKey returns the index key for m, and whether m is indexable: it must
-// constrain both nw_src and nw_dst to /32 prefixes, so only frames carrying
-// exactly those addresses can match it.
-func indexKey(m *Match) (ipPair, bool) {
+// packAddrs packs two IPv4 addresses into the exact-index key. ok is false
+// if either address is not IPv4.
+func packAddrs(src, dst netip.Addr) (key uint64, ok bool) {
+	if !src.Is4() || !dst.Is4() {
+		return 0, false
+	}
+	s, d := src.As4(), dst.As4()
+	return uint64(binary.BigEndian.Uint32(s[:]))<<32 |
+		uint64(binary.BigEndian.Uint32(d[:])), true
+}
+
+// ExactKey returns the exact-index key for m, and whether m is indexable: it
+// must constrain both nw_src and nw_dst to single IPv4 addresses (/32), so
+// only frames carrying exactly those addresses can match it. Exported so the
+// switch emulator can key its own per-rule indexes the same way.
+func ExactKey(m *Match) (uint64, bool) {
 	if !m.Has(FieldNwSrc) || !m.Has(FieldNwDst) {
-		return ipPair{}, false
+		return 0, false
 	}
 	if m.NwSrc.Bits() != 32 || m.NwDst.Bits() != 32 {
-		return ipPair{}, false
+		return 0, false
 	}
-	return ipPair{m.NwSrc.Addr(), m.NwDst.Addr()}, true
+	return packAddrs(m.NwSrc.Addr(), m.NwDst.Addr())
 }
+
+// FrameKey returns the exact-index key for frame f's IPv4 addresses; ok is
+// false for non-IPv4 frames. It is the frame-side counterpart of ExactKey:
+// a frame can match an exact-indexed rule only when their keys agree.
+func FrameKey(f *packet.Frame) (uint64, bool) {
+	if !f.HasIPv4 {
+		return 0, false
+	}
+	return packAddrs(f.IP.Src, f.IP.Dst)
+}
+
+// WildLen reports how many non-exact-indexable rules the table holds.
+func (t *Table) WildLen() int { return len(t.wild) }
+
+// WildSingleton returns the table's only non-exact rule, or nil unless
+// exactly one is resident.
+func (t *Table) WildSingleton() *Rule {
+	if len(t.wild) == 1 {
+		return t.wild[0]
+	}
+	return nil
+}
+
+// indexKey is the internal alias for ExactKey.
+func indexKey(m *Match) (uint64, bool) { return ExactKey(m) }
 
 // indexInsert registers r in the lookup acceleration structures.
 func (t *Table) indexInsert(r *Rule) {
 	if k, ok := indexKey(&r.Match); ok {
 		if t.exact == nil {
-			t.exact = make(map[ipPair][]*Rule)
+			// Capacity-bounded tables fill right up in probing workloads;
+			// pre-sizing skips the incremental rehashes on the way there.
+			// "Virtually unlimited" tables are capped — they never fill.
+			hint := t.Capacity
+			if hint > 2048 {
+				hint = 2048
+			}
+			t.exact = make(map[uint64]exactBucket, hint)
 		}
-		t.exact[k] = append(t.exact[k], r)
+		b := t.exact[k]
+		if b.one == nil {
+			b.one = r
+		} else {
+			b.more = append(b.more, r)
+		}
+		t.exact[k] = b
 		return
 	}
 	// Maintain wild in table order: descending priority, FIFO within equal.
@@ -125,13 +187,20 @@ func (t *Table) indexInsert(r *Rule) {
 // indexRemove unregisters r.
 func (t *Table) indexRemove(r *Rule) {
 	if k, ok := indexKey(&r.Match); ok {
-		list := t.exact[k]
-		for i, rr := range list {
+		b := t.exact[k]
+		if b.one == r {
+			if n := len(b.more); n > 0 {
+				b.one, b.more = b.more[n-1], b.more[:n-1]
+				t.exact[k] = b
+			} else {
+				delete(t.exact, k)
+			}
+			return
+		}
+		for i, rr := range b.more {
 			if rr == r {
-				t.exact[k] = append(list[:i], list[i+1:]...)
-				if len(t.exact[k]) == 0 {
-					delete(t.exact, k)
-				}
+				b.more = append(b.more[:i], b.more[i+1:]...)
+				t.exact[k] = b
 				return
 			}
 		}
@@ -259,7 +328,11 @@ func (t *Table) Insert(r *Rule, now time.Time) (shifted int, err error) {
 // of scanning the table.
 func (t *Table) find(m *Match, priority uint16) *Rule {
 	if k, ok := indexKey(m); ok {
-		for _, r := range t.exact[k] {
+		b := t.exact[k]
+		if b.one != nil && b.one.Priority == priority && b.one.Match.Same(m) {
+			return b.one
+		}
+		for _, r := range b.more {
 			if r.Priority == priority && r.Match.Same(m) {
 				return r
 			}
@@ -331,13 +404,19 @@ func (t *Table) Remove(target *Rule) bool {
 func (t *Table) Lookup(f *packet.Frame, inPort uint16) *Rule {
 	var best *Rule
 	if f.HasIPv4 {
-		for _, r := range t.exact[ipPair{f.IP.Src, f.IP.Dst}] {
-			if !r.Match.Matches(f, inPort) {
-				continue
+		if k, ok := packAddrs(f.IP.Src, f.IP.Dst); ok {
+			b := t.exact[k]
+			if b.one != nil && b.one.Match.Matches(f, inPort) {
+				best = b.one
 			}
-			if best == nil || r.Priority > best.Priority ||
-				(r.Priority == best.Priority && r.seq < best.seq) {
-				best = r
+			for _, r := range b.more {
+				if !r.Match.Matches(f, inPort) {
+					continue
+				}
+				if best == nil || r.Priority > best.Priority ||
+					(r.Priority == best.Priority && r.seq < best.seq) {
+					best = r
+				}
 			}
 		}
 	}
@@ -382,8 +461,8 @@ func (t *Table) Validate() error {
 		}
 	}
 	indexed := len(t.wild)
-	for _, list := range t.exact {
-		indexed += len(list)
+	for _, b := range t.exact {
+		indexed += 1 + len(b.more)
 	}
 	if indexed != len(t.rules) {
 		return fmt.Errorf("flowtable: index holds %d rules, table %d", indexed, len(t.rules))

@@ -1,0 +1,353 @@
+package ofconn
+
+// async.go is the controller's pipelined send path. The synchronous FlowMod
+// pays one conn.Write syscall for the op, another for its barrier, and a
+// full round trip before the next op may start; bulk installs (the doubling
+// phase of size probing, probe-rule teardown) serialize thousands of those.
+// The pipelined path instead queues encoded frames to a single writer
+// goroutine that coalesces every immediately available frame into one
+// conn.Write, and lets a bounded window of ops share one trailing barrier:
+// n ops cost a handful of syscalls and one round trip instead of 2n and n.
+
+import (
+	"sync"
+
+	"tango/internal/openflow"
+	"tango/internal/switchsim"
+)
+
+// asyncWindow bounds how many flow-mods may be in flight — queued without a
+// completed covering barrier. Issuing past the window flushes it first, so
+// a runaway caller cannot build an unbounded backlog of unconfirmed ops.
+const asyncWindow = 64
+
+// wireFrame is one encoded message bound for the writer goroutine. A nil
+// ack is fire-and-forget (flow-mods: their outcome arrives via the barrier
+// protocol); barriers carry an ack so the flusher knows the bytes reached
+// the wire — or didn't — before it starts awaiting the reply.
+type wireFrame struct {
+	data []byte
+	ack  chan error
+}
+
+// asyncState is the controller's pipelining state. Its mutex is separate
+// from Controller.mu (the xid table): the two are never held together.
+type asyncState struct {
+	mu sync.Mutex
+	// window holds the issued-but-unflushed completions, in issue order.
+	window []*Completion
+	// queue feeds the writer goroutine, started lazily on first use.
+	queue   chan wireFrame
+	started bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// Completion is the handle for one asynchronous flow-mod. It resolves when
+// a flush's trailing barrier covers the op; err is written exactly once
+// before done is closed.
+type Completion struct {
+	c    *Controller
+	xid  uint32
+	ch   chan openflow.Message
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until a barrier covering the op has completed and returns the
+// op's outcome: nil, switchsim.ErrTableFull, the switch's *openflow.Error,
+// or the channel failure that sank the flush. If the op is still unflushed,
+// Wait flushes the window itself.
+func (cp *Completion) Wait() error {
+	select {
+	case <-cp.done:
+		return cp.err
+	default:
+	}
+	// Whoever snapshots the window containing this completion resolves it —
+	// our flush, or a concurrent one that got there first. Either way done
+	// closes, even on a dead connection (the flush then resolves everything
+	// with the channel error).
+	_, _ = cp.c.flushWindow()
+	<-cp.done
+	return cp.err
+}
+
+// Err returns the resolved outcome without blocking; ok reports whether the
+// op has been covered by a barrier yet.
+func (cp *Completion) Err() (err error, ok bool) {
+	select {
+	case <-cp.done:
+		return cp.err, true
+	default:
+		return nil, false
+	}
+}
+
+// FlowModAsync queues the flow-mod on the pipelined send path and returns
+// its completion handle without waiting for the switch. fm is serialized
+// before return, so the caller may immediately reuse or mutate it. The op
+// is confirmed only when a trailing barrier covers it: Completion.Wait (or
+// Flush) reports the outcome, mapping table-full rejections to
+// switchsim.ErrTableFull exactly like the synchronous path. At most
+// asyncWindow ops may be outstanding; issuing past the window first
+// flushes it, and a flush-level (channel) failure surfaces here with
+// nothing left pending. Per-op rejections inside that forced flush do not
+// surface here — they belong to their own completions.
+func (c *Controller) FlowModAsync(fm *openflow.FlowMod) (*Completion, error) {
+	a := &c.async
+	a.mu.Lock()
+	full := len(a.window) >= asyncWindow
+	a.mu.Unlock()
+	if full {
+		if _, err := c.flushWindow(); err != nil {
+			return nil, err
+		}
+	}
+	xid, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	fm.SetXID(xid)
+	data := fm.Marshal(nil)
+	cp := &Completion{c: c, xid: xid, ch: ch, done: make(chan struct{})}
+	a.mu.Lock()
+	if err := c.enqueueLocked(wireFrame{data: data}); err != nil {
+		a.mu.Unlock()
+		c.unregister(xid)
+		return nil, err
+	}
+	a.window = append(a.window, cp)
+	a.mu.Unlock()
+	c.tel.asyncQueued.Add(1)
+	return cp, nil
+}
+
+// Flush forces every queued flow-mod onto the wire, awaits one trailing
+// barrier covering them, and resolves their completions. It returns the
+// channel failure if the flush itself sank, otherwise the first switch-side
+// rejection among the flushed ops (FlowMods' contract); use the individual
+// completions to attribute rejections per op. With nothing in flight it is
+// a no-op.
+func (c *Controller) Flush() error {
+	reject, err := c.flushWindow()
+	if err != nil {
+		return err
+	}
+	return reject
+}
+
+// flushWindow is the flush core. It snapshots and clears the window, sends
+// one barrier through the queue (keeping wire order), awaits the reply, and
+// resolves every snapshotted completion — on a failed flush, all of them
+// with the failure, so no Wait can hang. err is the flush-level failure
+// only; per-op rejections are reported via reject and the completions.
+// Splitting the two keeps internal flushes (window pressure, the sync-path
+// fence) from misattributing an earlier op's table-full to the current
+// operation.
+func (c *Controller) flushWindow() (reject, err error) {
+	a := &c.async
+	a.mu.Lock()
+	window := a.window
+	a.window = nil
+	a.mu.Unlock()
+	if len(window) == 0 {
+		return nil, nil
+	}
+	c.tel.asyncFlushes.Add(1)
+	ferr := c.barrierAsync()
+	for _, cp := range window {
+		c.unregister(cp.xid)
+		opErr := ferr
+		if ferr == nil {
+			// The agent writes an op's error reply before the barrier reply,
+			// so after the barrier a non-blocking read is race free — same
+			// guarantee the synchronous FlowMod relies on.
+			select {
+			case msg := <-cp.ch:
+				if oe, ok := msg.(*openflow.Error); ok {
+					if oe.IsTableFull() {
+						opErr = switchsim.ErrTableFull
+					} else {
+						opErr = oe
+					}
+				}
+			default:
+			}
+		}
+		cp.err = opErr
+		close(cp.done)
+		if opErr != nil && reject == nil {
+			reject = opErr
+		}
+	}
+	return reject, ferr
+}
+
+// barrierAsync sends a barrier through the writer queue — behind every
+// already-queued frame — and awaits its reply. The ack round trip through
+// the writer guarantees the barrier's bytes (and everything queued before
+// it) reached the wire before the await starts.
+func (c *Controller) barrierAsync() error {
+	xid, ch, err := c.register()
+	if err != nil {
+		return err
+	}
+	bar := &openflow.BarrierRequest{Header: openflow.Header{Xid: xid}}
+	ack := make(chan error, 1)
+	c.async.mu.Lock()
+	qerr := c.enqueueLocked(wireFrame{data: bar.Marshal(nil), ack: ack})
+	c.async.mu.Unlock()
+	if qerr != nil {
+		c.unregister(xid)
+		return qerr
+	}
+	if werr := <-ack; werr != nil {
+		c.unregister(xid)
+		return werr
+	}
+	if _, err := c.await(xid, ch); err != nil {
+		c.unregister(xid)
+		return err
+	}
+	return nil
+}
+
+// FlowModBatch applies the flow-mods in order over the pipelined path with
+// a shared trailing barrier per window, returning per-op outcomes: errs has
+// len(fms) and errs[i] is nil when op i was accepted. Later ops still
+// execute after a rejection (OpenFlow has no transactional abort). The
+// batch-level error reports channel failures only; on one, every op from
+// the failure point on carries it. This method is the controller's
+// implementation of the probe engine's PipelinedDevice contract.
+func (c *Controller) FlowModBatch(fms []*openflow.FlowMod) ([]error, error) {
+	errs := make([]error, len(fms))
+	comps := make([]*Completion, len(fms))
+	var cerr error
+	for i, fm := range fms {
+		cp, err := c.FlowModAsync(fm)
+		if err != nil {
+			for j := i; j < len(fms); j++ {
+				errs[j] = err
+			}
+			cerr = err
+			break
+		}
+		comps[i] = cp
+	}
+	if _, ferr := c.flushWindow(); ferr != nil && cerr == nil {
+		cerr = ferr
+	}
+	for i, cp := range comps {
+		if cp != nil {
+			// Non-blocking in practice: the flush above resolved everything,
+			// successfully or with the channel error.
+			errs[i] = cp.Wait()
+		}
+	}
+	return errs, cerr
+}
+
+// fence serialises the synchronous send paths behind the pipelined one: any
+// open window is flushed — completions resolved, barrier done — before a
+// direct write may touch the connection, so a sync op's barrier can never
+// overtake a queued flow-mod. With no window open it costs one mutex probe
+// and performs no writes, keeping pure-sync controllers byte-for-byte
+// identical to the pre-pipelining behaviour. Per-op rejections stay with
+// their completions and do not leak into the fencing op's result.
+func (c *Controller) fence() error {
+	c.async.mu.Lock()
+	empty := len(c.async.window) == 0
+	c.async.mu.Unlock()
+	if empty {
+		return nil
+	}
+	_, err := c.flushWindow()
+	return err
+}
+
+// enqueueLocked hands a frame to the writer goroutine, starting it on first
+// use. Callers hold async.mu, which makes the closed check and the channel
+// send atomic with respect to shutdown. The send cannot block: the queue's
+// capacity exceeds the window bound plus one barrier, and the writer drains
+// independently of every lock.
+func (c *Controller) enqueueLocked(f wireFrame) error {
+	a := &c.async
+	if a.closed {
+		return ErrClosed
+	}
+	if !a.started {
+		a.queue = make(chan wireFrame, 2*asyncWindow+2)
+		a.started = true
+		a.wg.Add(1)
+		go c.asyncWriter()
+	}
+	a.queue <- f
+	return nil
+}
+
+// asyncWriter is the connection's single writer goroutine. It drains the
+// frame queue, concatenating every immediately available frame into one
+// conn.Write, and acknowledges barrier frames once their bytes are on the
+// wire. After the first write error the pipe is poisoned: nothing further
+// is written and every subsequent ack reports the error, so a barrier
+// queued behind a failed op can never report success.
+func (c *Controller) asyncWriter() {
+	defer c.async.wg.Done()
+	var (
+		buf    []byte
+		acks   []chan error
+		sticky error
+	)
+	for f := range c.async.queue {
+		buf = append(buf[:0], f.data...)
+		acks = acks[:0]
+		frames := int64(1)
+		if f.ack != nil {
+			acks = append(acks, f.ack)
+		}
+	coalesce:
+		for {
+			select {
+			case f2, ok := <-c.async.queue:
+				if !ok {
+					break coalesce
+				}
+				buf = append(buf, f2.data...)
+				frames++
+				if f2.ack != nil {
+					acks = append(acks, f2.ack)
+				}
+			default:
+				break coalesce
+			}
+		}
+		if sticky == nil {
+			if _, err := c.conn.Write(buf); err != nil {
+				sticky = err
+			} else {
+				c.tel.msgsOut.Add(frames)
+				c.tel.asyncWrites.Add(1)
+			}
+		}
+		for _, ach := range acks {
+			ach <- sticky
+		}
+	}
+}
+
+// shutdownAsync stops the writer goroutine and fails all future enqueues.
+// Queued frames are still drained (and their acks answered — with the write
+// error the closed connection now produces), so no flusher hangs.
+func (c *Controller) shutdownAsync() {
+	a := &c.async
+	a.mu.Lock()
+	if !a.closed {
+		a.closed = true
+		if a.started {
+			close(a.queue)
+		}
+	}
+	a.mu.Unlock()
+	a.wg.Wait()
+}

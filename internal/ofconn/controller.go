@@ -34,6 +34,9 @@ type Controller struct {
 	features *openflow.FeaturesReply
 	timeout  time.Duration
 
+	// async is the pipelined send path (FlowModAsync / Flush); see async.go.
+	async asyncState
+
 	tel ctrlTelemetry
 }
 
@@ -57,11 +60,14 @@ type ControllerOptions struct {
 // ctrlTelemetry bundles the controller-side handles, resolved once at
 // construction. All handles are nil-safe.
 type ctrlTelemetry struct {
-	tracer     *telemetry.Tracer
-	msgsIn     *telemetry.Counter
-	msgsOut    *telemetry.Counter
-	notifyDrop *telemetry.Counter
-	hHandshake *telemetry.Histogram
+	tracer       *telemetry.Tracer
+	msgsIn       *telemetry.Counter
+	msgsOut      *telemetry.Counter
+	notifyDrop   *telemetry.Counter
+	asyncQueued  *telemetry.Counter
+	asyncFlushes *telemetry.Counter
+	asyncWrites  *telemetry.Counter
+	hHandshake   *telemetry.Histogram
 }
 
 func (t *ctrlTelemetry) init(opts ControllerOptions) {
@@ -76,6 +82,9 @@ func (t *ctrlTelemetry) init(opts ControllerOptions) {
 	t.msgsIn = reg.Counter("ofconn.controller.msgs_in")
 	t.msgsOut = reg.Counter("ofconn.controller.msgs_out")
 	t.notifyDrop = reg.Counter("ofconn.controller.notify_dropped")
+	t.asyncQueued = reg.Counter("ofconn.controller.async_queued")
+	t.asyncFlushes = reg.Counter("ofconn.controller.async_flushes")
+	t.asyncWrites = reg.Counter("ofconn.controller.async_writes")
 	t.hHandshake = reg.Histogram("ofconn.controller.handshake_ns")
 }
 
@@ -274,6 +283,9 @@ func (c *Controller) Features() *openflow.FeaturesReply { return c.features }
 // rejection surfaces as the *openflow.Error. The flow-mod's XID is
 // assigned by the controller.
 func (c *Controller) FlowMod(fm *openflow.FlowMod) error {
+	if err := c.fence(); err != nil {
+		return err
+	}
 	fmXID, errCh, err := c.register()
 	if err != nil {
 		return err
@@ -327,6 +339,9 @@ func (c *Controller) FlowMod(fm *openflow.FlowMod) error {
 // rejection, if any; later ops in the batch still execute (OpenFlow has no
 // transactional abort).
 func (c *Controller) FlowMods(fms []*openflow.FlowMod) error {
+	if err := c.fence(); err != nil {
+		return err
+	}
 	// unwind releases every XID registered so far; called on each error
 	// path so no pending entry outlives the batch.
 	registered := 0
@@ -387,6 +402,12 @@ func (c *Controller) FlowMods(fms []*openflow.FlowMod) error {
 // until the reflected PACKET_IN returns. punted reports whether the switch
 // punted the frame (NO_MATCH) rather than forwarding it.
 func (c *Controller) SendProbe(data []byte, inPort uint16) (rtt time.Duration, punted bool, err error) {
+	// Probes measure RTT from the send; an unflushed window would let the
+	// writer's bytes land in front of ours, so fence first. The fence is
+	// free when nothing is pipelined.
+	if err := c.fence(); err != nil {
+		return 0, false, err
+	}
 	xid, ch, err := c.register()
 	if err != nil {
 		return 0, false, err
@@ -415,6 +436,9 @@ func (c *Controller) SendProbe(data []byte, inPort uint16) (rtt time.Duration, p
 
 // Echo measures a control-channel round trip.
 func (c *Controller) Echo() (time.Duration, error) {
+	if err := c.fence(); err != nil {
+		return 0, err
+	}
 	xid, ch, err := c.register()
 	if err != nil {
 		return 0, err
@@ -431,6 +455,9 @@ func (c *Controller) Echo() (time.Duration, error) {
 
 // TableStats fetches the switch's table statistics.
 func (c *Controller) TableStats() ([]openflow.TableStats, error) {
+	if err := c.fence(); err != nil {
+		return nil, err
+	}
 	xid, ch, err := c.register()
 	if err != nil {
 		return nil, err
@@ -452,6 +479,9 @@ func (c *Controller) TableStats() ([]openflow.TableStats, error) {
 
 // FlowStats fetches flow statistics for all rules.
 func (c *Controller) FlowStats() ([]openflow.FlowStats, error) {
+	if err := c.fence(); err != nil {
+		return nil, err
+	}
 	xid, ch, err := c.register()
 	if err != nil {
 		return nil, err
@@ -485,8 +515,12 @@ func (c *Controller) Now() time.Time { return time.Now() }
 // mirroring SimDevice.Sleep on the virtual-time path.
 func (c *Controller) Sleep(d time.Duration) { time.Sleep(d) }
 
-// Close tears down the connection.
+// Close tears down the connection. Unflushed pipelined ops are abandoned:
+// their completions resolve with an error on the next Wait or Flush, never
+// with success.
 func (c *Controller) Close() error {
 	c.tel.tracer.Instant("ofconn.controller.close", "", nil)
-	return c.conn.Close()
+	err := c.conn.Close()
+	c.shutdownAsync()
+	return err
 }

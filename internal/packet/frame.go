@@ -71,25 +71,36 @@ func DecodeInto(f *Frame, data []byte) error {
 // Serialize encodes the frame back to wire bytes. Length and checksum fields
 // are recomputed from the layer structure.
 func (f *Frame) Serialize() ([]byte, error) {
-	b := make([]byte, 0, 64+len(f.Payload))
+	return f.AppendSerialize(make([]byte, 0, 64+len(f.Payload)))
+}
+
+// AppendSerialize appends the frame's encoding to b and returns the extended
+// slice, writing the layers in place instead of assembling a scratch L4
+// buffer first — callers with a pre-sized b serialize without allocating.
+func (f *Frame) AppendSerialize(b []byte) ([]byte, error) {
 	b = f.Eth.AppendTo(b)
 	if !f.HasIPv4 {
 		return append(b, f.Payload...), nil
 	}
-	l4 := make([]byte, 0, 20+len(f.Payload))
+	l4len := len(f.Payload)
 	switch {
 	case f.HasTCP:
-		l4 = f.TCP.AppendTo(l4)
+		l4len += tcpHeaderLen
 	case f.HasUDP:
-		l4 = f.UDP.AppendTo(l4, len(f.Payload))
+		l4len += udpHeaderLen
 	}
-	l4 = append(l4, f.Payload...)
 	var err error
-	b, err = f.IP.AppendTo(b, len(l4))
+	b, err = f.IP.AppendTo(b, l4len)
 	if err != nil {
 		return nil, err
 	}
-	return append(b, l4...), nil
+	switch {
+	case f.HasTCP:
+		b = f.TCP.AppendTo(b)
+	case f.HasUDP:
+		b = f.UDP.AppendTo(b, len(f.Payload))
+	}
+	return append(b, f.Payload...), nil
 }
 
 // FiveTuple is a canonical flow identity used as a map key by the emulated
@@ -156,6 +167,12 @@ func ProbeDstIP(id uint32) netip.Addr {
 // BuildProbe mints the wire bytes of the probe frame for spec. Frames for
 // the same FlowID are always byte-identical except for the payload.
 func BuildProbe(spec ProbeSpec) ([]byte, error) {
+	return AppendBuildProbe(make([]byte, 0, 64+len(spec.Payload)), spec)
+}
+
+// AppendBuildProbe appends the probe frame for spec to b and returns the
+// extended slice; with a pre-sized b it mints the frame without allocating.
+func AppendBuildProbe(b []byte, spec ProbeSpec) ([]byte, error) {
 	proto := spec.Proto
 	if proto == 0 {
 		proto = IPProtocolTCP
@@ -184,5 +201,5 @@ func BuildProbe(spec ProbeSpec) ([]byte, error) {
 		f.HasUDP = true
 		f.UDP = UDP{SrcPort: 1024 + uint16(spec.FlowID%50000), DstPort: 53}
 	}
-	return f.Serialize()
+	return f.AppendSerialize(b)
 }

@@ -7,7 +7,7 @@
 package simclock
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -24,9 +24,14 @@ type Clock interface {
 // Virtual is a manually advanced clock. The zero value is ready to use and
 // starts at the zero time.Time; most callers prefer NewVirtual, which starts
 // at a fixed, recognisable epoch.
+//
+// The clock is a base instant plus an atomically advanced offset: the switch
+// emulator reads and advances it on every simulated packet, so Now/Sleep must
+// not take a lock of their own (the ~50 ns mutex pair showed up as several
+// percent of the probing benchmarks).
 type Virtual struct {
-	mu  sync.Mutex
-	now time.Time
+	base time.Time
+	off  atomic.Int64 // nanoseconds since base
 }
 
 // Epoch is the starting instant of clocks returned by NewVirtual. The exact
@@ -35,14 +40,12 @@ var Epoch = time.Date(2014, time.December, 2, 0, 0, 0, 0, time.UTC)
 
 // NewVirtual returns a virtual clock positioned at Epoch.
 func NewVirtual() *Virtual {
-	return &Virtual{now: Epoch}
+	return &Virtual{base: Epoch}
 }
 
 // Now returns the current virtual instant.
 func (v *Virtual) Now() time.Time {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.now
+	return v.base.Add(time.Duration(v.off.Load()))
 }
 
 // Sleep advances the virtual clock by d without blocking. Negative durations
@@ -51,9 +54,7 @@ func (v *Virtual) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	v.mu.Lock()
-	v.now = v.now.Add(d)
-	v.mu.Unlock()
+	v.off.Add(int64(d))
 }
 
 // Advance is a synonym for Sleep that reads better at call sites that are

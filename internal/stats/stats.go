@@ -198,6 +198,21 @@ func NegBinomialMLE(trials []int) (float64, error) {
 	return sum / (k + sum), nil
 }
 
+// NegBinomialMLESums is NegBinomialMLE over pre-aggregated trials: k trials
+// whose run lengths total sum. Sampling loops track the two sufficient
+// statistics instead of materialising a trial slice; run counts stay far
+// below 2⁵³, so the float64 arithmetic matches the slice form bit for bit.
+func NegBinomialMLESums(k, sum int) (float64, error) {
+	if k == 0 {
+		return 0, ErrEmpty
+	}
+	if sum < 0 {
+		return 0, errors.New("stats: negative trial count")
+	}
+	s := float64(sum)
+	return s / (float64(k) + s), nil
+}
+
 // Histogram counts xs into nbins equal-width bins across [min, max] and
 // returns the bin counts together with the bin width. Values equal to max
 // land in the final bin. It returns an error when xs is empty or nbins < 1.

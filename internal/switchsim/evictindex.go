@@ -130,12 +130,15 @@ func (h *entryHeap) down(i int) bool {
 // indexes. Only policy-cache hierarchies pay for index maintenance; the
 // other kinds never consult a cache policy.
 func (s *Switch) initIndexes() {
+	// The compiled comparator serves every policy consumer, indexed or not.
+	s.better = s.profile.CachePolicy.compile()
 	if s.profile.Kind != ManagePolicyCache {
 		return
 	}
+	better := s.better
+	s.evictIdx = newEntryHeap(func(a, b *entry) bool { return better(b, a) })
+	s.promoteIdx = newEntryHeap(better)
 	policy := s.profile.CachePolicy
-	s.evictIdx = newEntryHeap(func(a, b *entry) bool { return policy.Better(b, a) })
-	s.promoteIdx = newEntryHeap(policy.Better)
 	s.dynPolicy = false
 	for _, k := range policy.Keys {
 		if k.Attr == AttrUseTime || k.Attr == AttrTraffic {
@@ -192,7 +195,7 @@ func (s *Switch) indexFix(e *entry) {
 func (s *Switch) worstTCAMEntryNaive() *entry {
 	var candidates []*entry
 	for _, r := range s.tcam.Rules() {
-		e := s.entries[r]
+		e := entryOf(r)
 		if e == nil {
 			continue
 		}
@@ -205,7 +208,7 @@ func (s *Switch) worstTCAMEntryNaive() *entry {
 func (s *Switch) bestSoftwareEntryNaive() *entry {
 	var best *entry
 	for _, r := range s.software.Rules() {
-		e := s.entries[r]
+		e := entryOf(r)
 		if e == nil || !s.tcamAdmits(r.Match.Width()) {
 			continue
 		}

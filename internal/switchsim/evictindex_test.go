@@ -36,7 +36,7 @@ func checkIndexes(t *testing.T, s *Switch) {
 		inEvict[e] = true
 	}
 	for _, r := range s.tcam.Rules() {
-		if e := s.entries[r]; e != nil && !inEvict[e] {
+		if e := entryOf(r); e != nil && !inEvict[e] {
 			t.Fatalf("TCAM resident %v missing from eviction index", r.Match)
 		}
 	}
@@ -53,7 +53,7 @@ func checkIndexes(t *testing.T, s *Switch) {
 	}
 	eligible := 0
 	for _, r := range s.software.Rules() {
-		e := s.entries[r]
+		e := entryOf(r)
 		if e == nil || !s.tcamAdmits(r.Match.Width()) {
 			continue
 		}

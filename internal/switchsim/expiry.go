@@ -51,9 +51,9 @@ func (s *Switch) expireLocked(now time.Time) {
 	s.nextExpiry = time.Time{}
 	var victims []*flowtable.Rule
 	var reasons []uint8
-	for r := range s.entries {
+	s.forEachTracked(func(r *flowtable.Rule) {
 		if r.HardTimeout == 0 && r.IdleTimeout == 0 {
-			continue
+			return
 		}
 		switch {
 		case r.HardTimeout > 0 && !now.Before(r.InstalledAt.Add(time.Duration(r.HardTimeout)*time.Second)):
@@ -69,7 +69,7 @@ func (s *Switch) expireLocked(now time.Time) {
 				s.nextExpiry = d
 			}
 		}
-	}
+	})
 	for i, r := range victims {
 		s.noteRemoved(r, reasons[i], now)
 		s.removeRule(r)

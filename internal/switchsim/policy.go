@@ -145,6 +145,73 @@ func (p Policy) Better(a, b *entry) bool {
 	return a.insertSeq < b.insertSeq
 }
 
+// compile specialises Better for the policy's key list. Single-key policies
+// — the whole named matrix — get a comparator with the attribute access
+// inlined, replacing the per-comparison key loop and attribute switch that
+// dominate heap sift costs under touch-heavy probing. Multi-key composites
+// keep the generic form. Each branch reproduces Better exactly: primary
+// attribute, then the insertion-order tiebreak.
+func (p Policy) compile() func(a, b *entry) bool {
+	if len(p.Keys) != 1 {
+		return p.Better
+	}
+	k := p.Keys[0]
+	switch {
+	case k.Attr == AttrInsertion && k.HighIsBetter:
+		return func(a, b *entry) bool {
+			if a.insertSeq != b.insertSeq {
+				return a.insertSeq > b.insertSeq
+			}
+			return a.insertSeq < b.insertSeq
+		}
+	case k.Attr == AttrInsertion:
+		return func(a, b *entry) bool { return a.insertSeq < b.insertSeq }
+	case k.Attr == AttrUseTime && k.HighIsBetter:
+		return func(a, b *entry) bool {
+			if a.useSeq != b.useSeq {
+				return a.useSeq > b.useSeq
+			}
+			return a.insertSeq < b.insertSeq
+		}
+	case k.Attr == AttrUseTime:
+		return func(a, b *entry) bool {
+			if a.useSeq != b.useSeq {
+				return a.useSeq < b.useSeq
+			}
+			return a.insertSeq < b.insertSeq
+		}
+	case k.Attr == AttrTraffic && k.HighIsBetter:
+		return func(a, b *entry) bool {
+			if a.traffic != b.traffic {
+				return a.traffic > b.traffic
+			}
+			return a.insertSeq < b.insertSeq
+		}
+	case k.Attr == AttrTraffic:
+		return func(a, b *entry) bool {
+			if a.traffic != b.traffic {
+				return a.traffic < b.traffic
+			}
+			return a.insertSeq < b.insertSeq
+		}
+	case k.Attr == AttrPriority && k.HighIsBetter:
+		return func(a, b *entry) bool {
+			if a.rule.Priority != b.rule.Priority {
+				return a.rule.Priority > b.rule.Priority
+			}
+			return a.insertSeq < b.insertSeq
+		}
+	case k.Attr == AttrPriority:
+		return func(a, b *entry) bool {
+			if a.rule.Priority != b.rule.Priority {
+				return a.rule.Priority < b.rule.Priority
+			}
+			return a.insertSeq < b.insertSeq
+		}
+	}
+	return p.Better
+}
+
 // Worst returns the entry that orders last under the policy — the eviction
 // victim — among the given entries. It returns nil for an empty slice.
 func (p Policy) Worst(entries []*entry) *entry {

@@ -61,9 +61,42 @@ type entry struct {
 	useSeq    uint64
 	traffic   uint64
 	inTCAM    bool
+	// inSoft mirrors software-table residency the way inTCAM mirrors TCAM
+	// residency; together they let the exact-match classifier skip the
+	// per-tier table lookups.
+	inSoft bool
 	// heapIdx is the entry's position in the eviction/promotion index
 	// (evictindex.go); -1 while the entry is in neither heap.
 	heapIdx int
+	// kernelKeys records the microflow-cache keys derived from this rule, so
+	// invalidation walks the owner's few keys instead of the whole kernel
+	// table. Keys whose cache slot was since evicted or re-owned are skipped
+	// by an ownership check, so stale keys are harmless.
+	kernelKeys []packet.FiveTuple
+}
+
+// entryOf resolves a tracked rule to its bookkeeping entry via the rule's
+// opaque Ext slot — the hot-path replacement for a map lookup.
+func entryOf(r *flowtable.Rule) *entry {
+	e, _ := r.Ext.(*entry)
+	return e
+}
+
+// ruleEntry co-allocates a rule with its bookkeeping so an install costs one
+// (amortised, chunked) allocation instead of two; see Switch.newRuleEntry.
+type ruleEntry struct {
+	e entry
+	r flowtable.Rule
+}
+
+// bucket holds the tracked entries sharing one exact-index key. The first is
+// inline because almost every key maps to exactly one rule; keeping it out
+// of a slice saves a heap allocation per installed probe rule. Buckets store
+// entries rather than rules so the classification fast path reaches the
+// residency bits without the Ext interface assertion on every frame.
+type bucket struct {
+	one  *entry
+	more []*entry
 }
 
 // kernelEntry is one exact-match microflow cache entry (OVS kernel table).
@@ -112,8 +145,21 @@ type Switch struct {
 	software *flowtable.Table // nil for ManageTCAMOnly
 	kernel   map[packet.FiveTuple]*kernelEntry
 
-	entries map[*flowtable.Rule]*entry
-	events  uint64
+	events uint64
+
+	// byKey buckets every tracked rule by its exact-index key and wildTracked
+	// holds the non-indexable residue. Together they are the switch's record
+	// of installed rules (including duplicate-add phantoms resident in no
+	// table): flow-mod deletes resolve their victims from one bucket instead
+	// of scanning all tracked rules, and expiry sweeps iterate both.
+	byKey       map[uint64]bucket
+	wildTracked []*flowtable.Rule
+
+	// arena chunk-allocates ruleEntry pairs for add; arenaUsed indexes the
+	// next free slot. Slots are never reused — chunks are dropped wholesale
+	// once no live rule points into them.
+	arena     []ruleEntry
+	arenaUsed int
 
 	// evictIdx and promoteIdx are the policy-ordered indexes over TCAM and
 	// software residents (evictindex.go); nil except for ManagePolicyCache.
@@ -123,6 +169,9 @@ type Switch struct {
 	evictIdx   *entryHeap
 	promoteIdx *entryHeap
 	dynPolicy  bool
+	// better is the cache policy's comparator, compiled once per
+	// (re)initialisation — hot paths call it instead of Policy.Better.
+	better func(a, b *entry) bool
 
 	// frame is the scratch decode target reused across SendPacketN calls so
 	// the data-plane hot loop does not allocate per packet.
@@ -179,7 +228,6 @@ func New(p Profile, opts ...Option) *Switch {
 		profile: p,
 		clock:   simclock.NewVirtual(),
 		rng:     rand.New(rand.NewSource(42)),
-		entries: make(map[*flowtable.Rule]*entry),
 	}
 	switch p.Kind {
 	case ManageTCAMOnly:
@@ -211,11 +259,12 @@ func (p Profile) softwareCap() int {
 func (s *Switch) installDefaultRoute() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r := &flowtable.Rule{
-		Priority: 0,
-		Actions:  []flowtable.Action{{Type: flowtable.ActionController}},
-	}
-	e := &entry{rule: r, insertSeq: s.nextEvent(), heapIdx: -1}
+	re := s.newRuleEntry()
+	r := &re.r
+	r.Priority = 0
+	r.Actions = []flowtable.Action{{Type: flowtable.ActionController}}
+	e := &re.e
+	e.rule, e.insertSeq, e.heapIdx = r, s.nextEvent(), -1
 	if s.tcam != nil {
 		if _, err := s.tcam.Insert(r, s.clock.Now()); err == nil {
 			e.inTCAM = true
@@ -224,8 +273,92 @@ func (s *Switch) installDefaultRoute() {
 	} else if s.software != nil {
 		_, _ = s.software.Insert(r, s.clock.Now())
 	}
-	s.entries[r] = e
+	r.Ext = e
+	s.trackRule(r)
 	s.defaultRule = r
+}
+
+// newRuleEntry hands out the next slot of the rule arena, growing it by a
+// fresh chunk when exhausted.
+func (s *Switch) newRuleEntry() *ruleEntry {
+	if s.arenaUsed == len(s.arena) {
+		s.arena = make([]ruleEntry, 256)
+		s.arenaUsed = 0
+	}
+	re := &s.arena[s.arenaUsed]
+	s.arenaUsed++
+	return re
+}
+
+// trackRule registers an installed rule in the tracked-rule index.
+func (s *Switch) trackRule(r *flowtable.Rule) {
+	if k, ok := flowtable.ExactKey(&r.Match); ok {
+		if s.byKey == nil {
+			// Size for the full hierarchy up front: probing installs run
+			// straight to capacity, and incremental map growth would double
+			// the rehash traffic. "Virtually unlimited" software tables are
+			// capped — they never actually fill.
+			hint := s.profile.TCAM.CapacityNarrow + s.profile.softwareCap()
+			if hint > 2048 {
+				hint = 2048
+			}
+			s.byKey = make(map[uint64]bucket, hint)
+		}
+		e := entryOf(r)
+		b := s.byKey[k]
+		if b.one == nil {
+			b.one = e
+		} else {
+			b.more = append(b.more, e)
+		}
+		s.byKey[k] = b
+		return
+	}
+	s.wildTracked = append(s.wildTracked, r)
+}
+
+// untrackRule removes r from the tracked-rule index.
+func (s *Switch) untrackRule(r *flowtable.Rule) {
+	if k, ok := flowtable.ExactKey(&r.Match); ok {
+		b := s.byKey[k]
+		if b.one != nil && b.one.rule == r {
+			if n := len(b.more); n > 0 {
+				b.one, b.more = b.more[n-1], b.more[:n-1]
+				s.byKey[k] = b
+			} else {
+				delete(s.byKey, k)
+			}
+			return
+		}
+		for i, ee := range b.more {
+			if ee.rule == r {
+				b.more = append(b.more[:i], b.more[i+1:]...)
+				s.byKey[k] = b
+				return
+			}
+		}
+		return
+	}
+	for i, rr := range s.wildTracked {
+		if rr == r {
+			s.wildTracked = append(s.wildTracked[:i], s.wildTracked[i+1:]...)
+			return
+		}
+	}
+}
+
+// forEachTracked visits every tracked rule. Visit order is unspecified, as
+// it was when tracking lived in a pointer-keyed map.
+func (s *Switch) forEachTracked(fn func(r *flowtable.Rule)) {
+	for _, b := range s.byKey {
+		fn(b.one.rule)
+		for _, ee := range b.more {
+			fn(ee.rule)
+		}
+	}
+	for _, r := range s.wildTracked {
+		fn(r)
+	}
 }
 
 // Reset returns the switch to its power-on state: every flow table and the
@@ -247,7 +380,9 @@ func (s *Switch) Reset() {
 		s.software = &flowtable.Table{Capacity: s.profile.softwareCap()}
 		s.kernel = make(map[packet.FiveTuple]*kernelEntry)
 	}
-	s.entries = make(map[*flowtable.Rule]*entry)
+	s.byKey = nil
+	s.wildTracked = nil
+	s.arena, s.arenaUsed = nil, 0
 	s.initIndexes()
 	s.defaultRule = nil
 	s.haveLastAdd, s.haveLastOp = false, false
@@ -356,16 +491,17 @@ func (s *Switch) chargeAdd(priority uint16, shifted int) {
 }
 
 func (s *Switch) add(fm *openflow.FlowMod) error {
-	rule := &flowtable.Rule{
-		Match:       fm.Match,
-		Priority:    fm.Priority,
-		Actions:     fm.Actions,
-		Cookie:      fm.Cookie,
-		IdleTimeout: fm.IdleTimeout,
-		HardTimeout: fm.HardTimeout,
-		SendFlowRem: fm.Flags&openflow.FlagSendFlowRem != 0,
-	}
-	e := &entry{rule: rule, insertSeq: s.nextEvent(), heapIdx: -1}
+	re := s.newRuleEntry()
+	rule := &re.r
+	rule.Match = fm.Match
+	rule.Priority = fm.Priority
+	rule.Actions = fm.Actions
+	rule.Cookie = fm.Cookie
+	rule.IdleTimeout = fm.IdleTimeout
+	rule.HardTimeout = fm.HardTimeout
+	rule.SendFlowRem = fm.Flags&openflow.FlagSendFlowRem != 0
+	e := &re.e
+	e.rule, e.insertSeq, e.heapIdx = rule, s.nextEvent(), -1
 	e.useSeq = e.insertSeq
 	now := s.clock.Now()
 
@@ -392,7 +528,8 @@ func (s *Switch) add(fm *openflow.FlowMod) error {
 		}
 		s.clock.Sleep(s.profile.Costs.opCost(s.rng, s.profile.Costs.AddBase))
 	}
-	s.entries[rule] = e
+	rule.Ext = e
+	s.trackRule(rule)
 	s.scheduleExpiry(rule, s.clock.Now())
 	return nil
 }
@@ -426,7 +563,7 @@ func (s *Switch) addPolicyCache(rule *flowtable.Rule, e *entry, now time.Time) e
 		// Cache full: does the policy prefer the new flow over the worst
 		// resident? (The evicted element "may be the new element, in which
 		// case the cache state does not change".)
-		if victim := s.worstTCAMEntry(); victim != nil && s.profile.CachePolicy.Better(e, victim) {
+		if victim := s.worstTCAMEntry(); victim != nil && s.better(e, victim) {
 			if s.evictUntilFits(width, e) {
 				tcamLen := s.tcam.Len()
 				if _, err := s.tcam.Insert(rule, now); err == nil {
@@ -447,6 +584,7 @@ func (s *Switch) addPolicyCache(rule *flowtable.Rule, e *entry, now time.Time) e
 	}
 	s.chargeAdd(rule.Priority, shifted)
 	if s.software.Len() > softLen {
+		e.inSoft = true
 		s.trackSoft(e)
 	}
 	return nil
@@ -480,7 +618,7 @@ func (s *Switch) worstTCAMEntry() *entry {
 func (s *Switch) evictUntilFits(w flowtable.Width, contender *entry) bool {
 	for !s.tcam.Fits(w) {
 		victim := s.worstTCAMEntry()
-		if victim == nil || !s.profile.CachePolicy.Better(contender, victim) {
+		if victim == nil || !s.better(contender, victim) {
 			return false
 		}
 		if !s.demote(victim) {
@@ -515,6 +653,7 @@ func (s *Switch) demote(victim *entry) bool {
 		return false
 	}
 	if s.software.Len() > softLen {
+		victim.inSoft = true
 		s.trackSoft(victim)
 	}
 	s.stats.Evictions++
@@ -537,12 +676,14 @@ func (s *Switch) promote(e *entry) bool {
 	if !s.software.Remove(e.rule) {
 		return false
 	}
+	e.inSoft = false
 	s.untrack(e)
 	tcamLen := s.tcam.Len()
 	if _, err := s.tcam.Insert(e.rule, s.clock.Now()); err != nil {
 		softLen := s.software.Len()
 		_, _ = s.software.Insert(e.rule, s.clock.Now())
 		if s.software.Len() > softLen {
+			e.inSoft = true
 			s.trackSoft(e)
 		}
 		return false
@@ -557,8 +698,8 @@ func (s *Switch) promote(e *entry) bool {
 }
 
 // locate finds the live rule with the same match and priority, asking the
-// tables' lookup indexes first. The linear fallback only matters for rules
-// that are tracked but resident in no table (duplicate-add leftovers).
+// tables' lookup indexes first. The tracked-rule fallback only matters for
+// rules that are tracked but resident in no table (duplicate-add leftovers).
 func (s *Switch) locate(m *flowtable.Match, priority uint16) *flowtable.Rule {
 	if s.tcam != nil {
 		if r := s.tcam.Find(m, priority); r != nil {
@@ -570,7 +711,19 @@ func (s *Switch) locate(m *flowtable.Match, priority uint16) *flowtable.Rule {
 			return r
 		}
 	}
-	for r := range s.entries {
+	if k, ok := flowtable.ExactKey(m); ok {
+		b := s.byKey[k]
+		if b.one != nil && b.one.rule.Priority == priority && b.one.rule.Match.Same(m) {
+			return b.one.rule
+		}
+		for _, ee := range b.more {
+			if ee.rule.Priority == priority && ee.rule.Match.Same(m) {
+				return ee.rule
+			}
+		}
+		return nil
+	}
+	for _, r := range s.wildTracked {
 		if r.Priority == priority && r.Match.Same(m) {
 			return r
 		}
@@ -594,14 +747,41 @@ func (s *Switch) modify(fm *openflow.FlowMod) error {
 func (s *Switch) delete(fm *openflow.FlowMod) error {
 	strict := fm.Command == openflow.FlowDeleteStrict
 	var victims []*flowtable.Rule
-	for r := range s.entries {
-		if strict {
+	if k, ok := flowtable.ExactKey(&fm.Match); ok {
+		// An exact (src/32, dst/32) delete match can only hit rules pinning
+		// the same address pair — strict by definition, non-strict because
+		// Covers requires the victim's prefixes to sit inside the /32s. So
+		// the victims all live in one byKey bucket, which turns the dominant
+		// cost of bulk rule churn (a full tracked-rule scan per delete) into
+		// a handful of comparisons.
+		b := s.byKey[k]
+		match := func(r *flowtable.Rule) {
+			if strict {
+				if r.Priority == fm.Priority && r.Match.Same(&fm.Match) {
+					victims = append(victims, r)
+				}
+			} else if fm.Match.Covers(&r.Match) {
+				victims = append(victims, r)
+			}
+		}
+		if b.one != nil {
+			match(b.one.rule)
+		}
+		for _, ee := range b.more {
+			match(ee.rule)
+		}
+	} else if strict {
+		for _, r := range s.wildTracked {
 			if r.Priority == fm.Priority && r.Match.Same(&fm.Match) {
 				victims = append(victims, r)
 			}
-		} else if fm.Match.Covers(&r.Match) {
-			victims = append(victims, r)
 		}
+	} else {
+		s.forEachTracked(func(r *flowtable.Rule) {
+			if fm.Match.Covers(&r.Match) {
+				victims = append(victims, r)
+			}
+		})
 	}
 	if len(victims) == 0 {
 		// Deleting nothing is not an error in OpenFlow, but it still costs
@@ -619,12 +799,13 @@ func (s *Switch) delete(fm *openflow.FlowMod) error {
 }
 
 func (s *Switch) removeRule(r *flowtable.Rule) {
-	e := s.entries[r]
-	delete(s.entries, r)
+	e := entryOf(r)
+	s.untrackRule(r)
 	if e != nil {
 		s.untrack(e)
 	}
 	s.invalidateKernel(r)
+	r.Ext = nil
 	if e != nil && e.inTCAM {
 		s.tcam.Remove(r)
 		// A freed TCAM slot is refilled by the best software resident —
@@ -664,9 +845,20 @@ func (s *Switch) bestSoftwareEntry() *entry {
 	return s.bestSoftwareEntryNaive()
 }
 
-// invalidateKernel removes microflow cache entries derived from rule r.
+// invalidateKernel removes microflow cache entries derived from rule r. The
+// owner's recorded keys bound the walk; the ownership check skips keys whose
+// slot was evicted and re-filled by another rule since.
 func (s *Switch) invalidateKernel(r *flowtable.Rule) {
 	if s.kernel == nil {
+		return
+	}
+	if e := entryOf(r); e != nil {
+		for _, ft := range e.kernelKeys {
+			if ke, ok := s.kernel[ft]; ok && ke.owner == e {
+				delete(s.kernel, ft)
+			}
+		}
+		e.kernelKeys = e.kernelKeys[:0]
 		return
 	}
 	for ft, ke := range s.kernel {
@@ -700,15 +892,37 @@ func (s *Switch) SendPacketN(data []byte, inPort uint16, n int) (Result, error) 
 	if err := packet.DecodeInto(&s.frame, data); err != nil {
 		return Result{}, err
 	}
+	return s.sendLocked(&s.frame, inPort, len(data), n), nil
+}
+
+// SendFrameN is SendPacketN for a frame the caller already decoded (size is
+// the encoded length, which drives byte counters and latency models). The
+// probing engine re-sends the same few frames tens of thousands of times, so
+// skipping the per-call decode matters; results are identical to sending the
+// frame's encoding because the pipeline only ever reads the decoded form.
+// The frame is not retained past the call.
+func (s *Switch) SendFrameN(f *packet.Frame, inPort uint16, size, n int) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("switchsim: burst size %d", n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.clock.Now())
+	return s.sendLocked(f, inPort, size, n), nil
+}
+
+// sendLocked injects an n-packet burst of the decoded frame. Callers hold
+// s.mu and have already run the expiry sweep.
+func (s *Switch) sendLocked(f *packet.Frame, inPort uint16, size, n int) Result {
 	s.stats.PacketsSeen += uint64(n)
 	s.tel.packets.Add(int64(n))
-	res := s.pipeline(&s.frame, inPort, len(data))
+	res := s.pipeline(f, inPort, size)
 	if n > 1 {
 		// Account the remaining n-1 touches on the matched rule.
 		if res.Rule != nil {
-			e := s.entries[res.Rule]
+			e := entryOf(res.Rule)
 			res.Rule.Packets += uint64(n - 1)
-			res.Rule.Bytes += uint64((n - 1) * len(data))
+			res.Rule.Bytes += uint64((n - 1) * size)
 			if e != nil {
 				e.traffic += uint64(n - 1)
 				e.useSeq = s.nextEvent()
@@ -724,7 +938,7 @@ func (s *Switch) SendPacketN(data []byte, inPort uint16, n int) (Result, error) 
 	if s.tel.enabled() {
 		s.updateOccupancy() // data traffic promotes/evicts/caches entries
 	}
-	return res, nil
+	return res
 }
 
 // pipeline runs the frame through the table hierarchy.
@@ -739,39 +953,118 @@ func (s *Switch) pipeline(f *packet.Frame, inPort uint16, size int) Result {
 }
 
 func (s *Switch) hardwarePipeline(f *packet.Frame, inPort uint16, size int, now time.Time) Result {
+	if res, ok := s.classifyExact(f, inPort, size, now); ok {
+		return res
+	}
 	if r := s.tcam.Lookup(f, inPort); r != nil && r != s.defaultRule {
-		e := s.entries[r]
-		s.touch(e, r, size, now)
-		if isController(r) {
-			s.stats.ControlMiss++
-			s.tel.controlMiss.Add(1)
-			return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng), Rule: r}
-		}
-		path, dist := s.tcamTier(r)
-		if path == PathFast {
-			s.stats.FastHits++
-			s.tel.fastHits.Add(1)
-		} else {
-			s.stats.MidHits++
-			s.tel.midHits.Add(1)
-		}
-		return Result{Path: path, RTT: dist.Sample(s.rng), OutPort: outPort(r), Rule: r}
+		return s.tcamHit(entryOf(r), r, size, now)
 	}
 	if s.software != nil {
 		if r := s.software.Lookup(f, inPort); r != nil {
-			e := s.entries[r]
-			s.touch(e, r, size, now)
-			s.maybePromote(e)
-			if isController(r) {
-				s.stats.ControlMiss++
-				s.tel.controlMiss.Add(1)
-				return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng), Rule: r}
-			}
-			s.stats.SlowHits++
-			s.tel.slowHits.Add(1)
-			return Result{Path: PathSlow, RTT: s.profile.SlowPath.Sample(s.rng), OutPort: outPort(r), Rule: r}
+			return s.softHit(entryOf(r), r, size, now)
 		}
 	}
+	return s.punt()
+}
+
+// classifyExact short-circuits the per-tier lookups for the dominant probing
+// workload: every installed rule an exact IPv4 match, at most the priority-0
+// default route wild. The switch-wide byKey index then answers the whole
+// classification with one map probe — a frame's key selects the only rule in
+// either table that could match it — instead of two table lookups that each
+// rehash the key. ok=false defers to the reference tier walk whenever the
+// workload leaves the fast path's assumptions (other wild rules, key shared
+// by several rules, ambiguity against the default route).
+func (s *Switch) classifyExact(f *packet.Frame, inPort uint16, size int, now time.Time) (Result, bool) {
+	softWild := 0
+	if s.software != nil {
+		softWild = s.software.WildLen()
+	}
+	wilds := s.tcam.WildLen() + softWild
+	defaultOnly := false
+	if wilds != 0 {
+		// Tolerate exactly one wild resident when it is the default route:
+		// the reference walk never forwards through it (the tcam branch
+		// skips it and a frame matching nothing else punts untouched), so
+		// only shadowing against equal-or-lower-priority exact rules —
+		// guarded below — could distinguish the paths.
+		if wilds != 1 || softWild != 0 || s.defaultRule == nil ||
+			s.tcam.WildSingleton() != s.defaultRule {
+			return Result{}, false
+		}
+		defaultOnly = true
+	}
+	k, ok := flowtable.FrameKey(f)
+	if !ok {
+		// Non-IPv4 frames cannot match exact-indexed rules.
+		return s.punt(), true
+	}
+	b := s.byKey[k]
+	if b.one == nil {
+		return s.punt(), true
+	}
+	if len(b.more) > 0 {
+		// Duplicate-add phantoms share the resident's bucket; let the
+		// reference path disambiguate.
+		return Result{}, false
+	}
+	e := b.one
+	r := e.rule
+	if defaultOnly && r.Priority <= s.defaultRule.Priority {
+		return Result{}, false
+	}
+	if !r.Match.MatchesRest(f, inPort) {
+		// The rule pins more than the addresses (port, protocol); no other
+		// exact rule shares the key, so the frame misses every table.
+		return s.punt(), true
+	}
+	if e.inTCAM {
+		return s.tcamHit(e, r, size, now), true
+	}
+	if e.inSoft {
+		return s.softHit(e, r, size, now), true
+	}
+	// Tracked but resident in no table: a real lookup would miss.
+	return s.punt(), true
+}
+
+// tcamHit accounts a hardware-table hit: touch, then forward or punt by the
+// rule's actions and latency tier.
+func (s *Switch) tcamHit(e *entry, r *flowtable.Rule, size int, now time.Time) Result {
+	s.touch(e, r, size, now)
+	if isController(r) {
+		s.stats.ControlMiss++
+		s.tel.controlMiss.Add(1)
+		return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng), Rule: r}
+	}
+	path, dist := s.tcamTier(r)
+	if path == PathFast {
+		s.stats.FastHits++
+		s.tel.fastHits.Add(1)
+	} else {
+		s.stats.MidHits++
+		s.tel.midHits.Add(1)
+	}
+	return Result{Path: path, RTT: dist.Sample(s.rng), OutPort: outPort(r), Rule: r}
+}
+
+// softHit accounts a software-table hit, including the promotion check the
+// reference walk performs before classifying the frame's path.
+func (s *Switch) softHit(e *entry, r *flowtable.Rule, size int, now time.Time) Result {
+	s.touch(e, r, size, now)
+	s.maybePromote(e)
+	if isController(r) {
+		s.stats.ControlMiss++
+		s.tel.controlMiss.Add(1)
+		return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng), Rule: r}
+	}
+	s.stats.SlowHits++
+	s.tel.slowHits.Add(1)
+	return Result{Path: PathSlow, RTT: s.profile.SlowPath.Sample(s.rng), OutPort: outPort(r), Rule: r}
+}
+
+// punt accounts a total miss.
+func (s *Switch) punt() Result {
 	s.stats.ControlMiss++
 	s.tel.controlMiss.Add(1)
 	return Result{Path: PathControl, RTT: s.profile.ControlPath.Sample(s.rng)}
@@ -812,13 +1105,14 @@ func (s *Switch) maybePromote(e *entry) {
 		return
 	}
 	victim := s.worstTCAMEntry()
-	if victim != nil && s.profile.CachePolicy.Better(e, victim) {
+	if victim != nil && s.better(e, victim) {
 		s.promote(e)
 	}
 }
 
 func (s *Switch) microflowPipeline(f *packet.Frame, inPort uint16, size int, now time.Time) Result {
-	if ft, ok := f.FiveTuple(); ok {
+	ft, ftOK := f.FiveTuple()
+	if ftOK {
 		if ke, hit := s.kernel[ft]; hit {
 			ke.useSeq = s.nextEvent()
 			s.touch(ke.owner, ke.owner.rule, size, now)
@@ -834,7 +1128,7 @@ func (s *Switch) microflowPipeline(f *packet.Frame, inPort uint16, size int, now
 		}
 	}
 	if r := s.software.Lookup(f, inPort); r != nil {
-		e := s.entries[r]
+		e := entryOf(r)
 		s.touch(e, r, size, now)
 		if isController(r) {
 			s.stats.ControlMiss++
@@ -843,8 +1137,11 @@ func (s *Switch) microflowPipeline(f *packet.Frame, inPort uint16, size int, now
 		}
 		// Install the exact-match microflow entry so the flow's next packet
 		// takes the kernel fast path (the 1-to-N user→kernel mapping).
-		if ft, ok := f.FiveTuple(); ok {
+		if ftOK {
 			s.kernel[ft] = &kernelEntry{owner: e, useSeq: s.nextEvent()}
+			if e != nil {
+				e.kernelKeys = append(e.kernelKeys, ft)
+			}
 			s.evictKernelIfNeeded()
 		}
 		s.stats.SlowHits++
@@ -915,7 +1212,7 @@ func (s *Switch) InTCAM(m *flowtable.Match, priority uint16) bool {
 	if r == nil {
 		return false
 	}
-	e := s.entries[r]
+	e := entryOf(r)
 	return e != nil && e.inTCAM
 }
 
