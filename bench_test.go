@@ -15,9 +15,11 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"tango/internal/core/sched"
 	"tango/internal/experiments"
+	"tango/internal/telemetry"
 )
 
 // cell parses "1.234s" or "12.3%" table cells into a float.
@@ -266,4 +268,34 @@ func BenchmarkFigure12(b *testing.B) {
 		improve = cell(b, t.Rows[1][2])
 	}
 	b.ReportMetric(improve, "improv-%")
+}
+
+// BenchmarkTelemetryVecRecord measures the labeled hot path end to end as
+// the probe engine drives it: one labeled counter add plus one labeled
+// histogram observation per op, with a flight-recorder append alongside.
+// The allocs-per-run probe is the PR's hard gate — the labeled record path
+// must stay allocation-free, same as the unlabeled handles.
+func BenchmarkTelemetryVecRecord(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	cv := reg.CounterVec("bench.ops", "switch")
+	hv := reg.HistogramVec("bench.rtt_ns", "switch")
+	fr := telemetry.NewFlightRecorder(1024)
+	c, h, tr := cv.With("sw1"), hv.With("sw1"), fr.Track("sw1")
+	now := time.Now()
+
+	if n := testing.AllocsPerRun(100, func() {
+		cv.With("sw1").Add(1)
+		hv.With("sw1").Observe(42)
+		tr.Record(now, now, time.Millisecond, 7, false)
+	}); n != 0 {
+		b.Fatalf("labeled record path allocates %v objects/op, want 0", n)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		h.Observe(float64(i))
+		tr.Record(now, now, time.Duration(i), uint32(i), false)
+	}
 }

@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"os"
 
 	"tango/internal/faults"
@@ -34,9 +33,10 @@ func main() {
 		scale        = flag.Float64("scale", 0.001, "wall-time scale for emulated latencies")
 		defaultRoute = flag.Bool("default-route", false, "pre-install the punt-to-controller default route")
 		seed         = flag.Int64("seed", 42, "latency model RNG seed")
-		telemAddr    = flag.String("telemetry", "", "serve /metrics and /trace over HTTP on this address (e.g. 127.0.0.1:8080)")
 		faultSpec    = flag.String("faults", "", `inject control-channel faults, e.g. "drop=0.01,delay=0.05,seed=7" (kinds: drop, delay, duplicate, reorder, reset, overflow)`)
+		tcli         telemetry.CLI
 	)
+	tcli.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	prof, err := profileByName(*profile)
@@ -49,18 +49,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "switchd: -faults: %v\n", err)
 		os.Exit(2)
 	}
+	// The shared telemetry block installs the process defaults (and, with
+	// -telemetry, the HTTP exporter with /metrics/series and /debug/pprof);
+	// the serve loop binds the installed registry/tracer explicitly so the
+	// per-connection counters land where the exporter looks. switchd never
+	// exits cleanly, so the flush (file outputs) is best-effort only.
+	if _, err := tcli.Setup(); err != nil {
+		log.Fatalf("switchd: %v", err)
+	}
 	var serveOpts ofconn.ServeOptions
-	if *telemAddr != "" {
-		reg := telemetry.NewRegistry()
-		tr := telemetry.NewTracer(nil)
-		telemetry.SetDefault(reg, tr)
-		serveOpts.Metrics, serveOpts.Tracer = reg, tr
-		go func() {
-			log.Printf("switchd: telemetry on http://%s/", *telemAddr)
-			if err := http.ListenAndServe(*telemAddr, telemetry.Handler(reg, tr)); err != nil {
-				log.Printf("switchd: telemetry server: %v", err)
-			}
-		}()
+	if tcli.Enabled() {
+		serveOpts.Metrics, serveOpts.Tracer = telemetry.Default(), telemetry.DefaultTracer()
+		if tcli.Addr != "" {
+			log.Printf("switchd: telemetry on http://%s/", tcli.Addr)
+		}
 	}
 	opts := []switchsim.Option{
 		switchsim.WithClock(&simclock.Real{Scale: *scale}),

@@ -97,13 +97,13 @@ func main() {
 		runs       = flag.Int("runs", 10, "repeat runs for the multi-run figures")
 		out        = flag.String("out", "", "directory to write .dat series files into")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
-		metricsOut = flag.String("metrics-out", "", "write a telemetry metrics snapshot (JSON) to this file")
-		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event file (JSON) to this file")
 		faultSpec  = flag.String("faults", "", `control-channel fault spec for the conformance experiment, e.g. "drop=0.01,delay=0.05,seed=7" (see internal/faults)`)
 		parallel   = flag.Int("parallel", 1, "run up to this many experiments concurrently (0 = GOMAXPROCS); output order is unchanged")
 		schedWork  = flag.Int("sched-workers", 0, "worker pool size for per-switch batches inside the scheduling experiments (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		inferWork  = flag.Int("infer-workers", 0, "worker pool size for per-profile cells inside the inference experiments (table1, sizeacc, policyacc, reported) (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+		tcli       telemetry.CLI
 	)
+	tcli.BindFlags(flag.CommandLine)
 	flag.Parse()
 	experiments.SchedWorkers = *schedWork
 	experiments.InferWorkers = *inferWork
@@ -121,18 +121,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	for _, p := range []struct{ flag, path string }{
-		{"-metrics-out", *metricsOut}, {"-trace-out", *traceOut},
-	} {
-		if p.path == "" {
-			continue
-		}
-		if err := checkWritableFile(p.path); err != nil {
-			fmt.Fprintf(os.Stderr, "tangobench: %s: %v\n", p.flag, err)
+	for _, p := range tcli.OutputPaths() {
+		if err := checkWritableFile(p[1]); err != nil {
+			fmt.Fprintf(os.Stderr, "tangobench: %s: %v\n", p[0], err)
 			os.Exit(1)
 		}
 	}
-	flush := telemetry.Setup(*metricsOut, *traceOut)
+	flush, err := tcli.Setup()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tangobench: %v\n", err)
+		os.Exit(1)
+	}
 
 	cat := catalog(*faultSpec)
 	if *list {

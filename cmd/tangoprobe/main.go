@@ -37,16 +37,20 @@ func main() {
 		skipPol  = flag.Bool("skip-policy", false, "skip the cache-policy probe")
 		curves   = flag.Bool("curves", false, "also measure priority-ordering installation curves")
 		channel  = flag.Bool("channel", false, "also run the Oflops-style channel benchmark")
-		metrics  = flag.String("metrics-out", "", "write a telemetry metrics snapshot (JSON) to this file")
-		trace    = flag.String("trace-out", "", "write a Chrome trace_event file (JSON) to this file")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-reply timeout for -connect (0 = wait forever)")
 		retry    = flag.Bool("retry", true, "retry transient channel failures for -connect (bounded backoff)")
+		tcli     telemetry.CLI
 	)
+	tcli.BindFlags(flag.CommandLine)
 	flag.Parse()
 
-	// Install the process-wide telemetry defaults before any engine or
-	// switch is constructed, so everything below binds to them.
-	flush := telemetry.Setup(*metrics, *trace)
+	// Install the process-wide telemetry defaults (registry, tracer, flight
+	// recorder, optional HTTP exporter) before any engine or switch is
+	// constructed, so everything below binds to them.
+	flush, err := tcli.Setup()
+	if err != nil {
+		log.Fatalf("tangoprobe: %v", err)
+	}
 
 	var (
 		dev      tango.Device

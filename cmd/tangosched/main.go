@@ -27,14 +27,17 @@ func main() {
 		requests = flag.Int("requests", 800, "total requests for -scenario te")
 		ratio    = flag.String("ratio", "2:1:1", "add:mod:del ratio for -scenario te")
 		seed     = flag.Int64("seed", 1, "workload seed")
-		metrics  = flag.String("metrics-out", "", "write a telemetry metrics snapshot (JSON) to this file")
-		trace    = flag.String("trace-out", "", "write a Chrome trace_event file (JSON, loads in Perfetto) to this file")
+		tcli     telemetry.CLI
 	)
+	tcli.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Bind process-wide telemetry before probing or scheduling so the
 	// sched.batch/sched.round spans land in the exported trace.
-	flush := telemetry.Setup(*metrics, *trace)
+	flush, err := tcli.Setup()
+	if err != nil {
+		log.Fatalf("tangosched: %v", err)
+	}
 
 	profiles := experiments.TestbedProfiles()
 	fmt.Println("probing testbed switches for score cards...")

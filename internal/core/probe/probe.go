@@ -52,6 +52,14 @@ type PipelinedDevice interface {
 	FlowModBatch(fms []*openflow.FlowMod) ([]error, error)
 }
 
+// LabeledDevice is the optional Device extension reporting a stable
+// switch/profile label. Engines auto-label themselves from it at
+// construction, binding the per-switch probe.rtt_ns{switch=...} histogram
+// child and the switch's flight-recorder track.
+type LabeledDevice interface {
+	TelemetryLabel() string
+}
+
 // FrameDevice is the optional Device extension for injecting a frame the
 // engine already decoded, skipping the per-packet parse. size is the encoded
 // length (it drives byte counters and latency models); the device must not
@@ -82,6 +90,9 @@ func (d SimDevice) SendProbe(data []byte, inPort uint16) (time.Duration, bool, e
 
 // Now implements Device.
 func (d SimDevice) Now() time.Time { return d.S.Now() }
+
+// TelemetryLabel implements LabeledDevice with the profile name.
+func (d SimDevice) TelemetryLabel() string { return d.S.Profile().Name }
 
 // Sleep advances the switch's virtual clock, letting retry backoff and
 // injected fault latencies charge simulated rather than wall time.
@@ -145,6 +156,7 @@ type Engine struct {
 
 	// Telemetry handles. All nil-safe: an engine built with no registry
 	// (and no process default installed) records nothing at no cost.
+	reg        *telemetry.Registry
 	tracer     *telemetry.Tracer
 	mFlowMods  *telemetry.Counter
 	mProbes    *telemetry.Counter
@@ -155,21 +167,39 @@ type Engine struct {
 	mFrameHits *telemetry.Counter
 	mFrameMiss *telemetry.Counter
 	hRTT       *telemetry.Histogram
+	// hRTTSw is the per-switch probe.rtt_ns{switch=...} child, bound by
+	// SetLabel; nil on unlabeled engines, so the fleet aggregate hRTT keeps
+	// its meaning either way.
+	hRTTSw *telemetry.Histogram
+	// flightRec/flight feed the per-switch RTT flight recorder: flight is
+	// this engine's track in flightRec, bound by SetLabel.
+	flightRec *telemetry.FlightRecorder
+	flight    *telemetry.FlightTrack
+	label     string
 }
 
 // NewEngine returns an engine driving dev, bound to the process-wide
-// default telemetry (a no-op unless a command installed one).
+// default telemetry (a no-op unless a command installed one). Devices that
+// report a label (LabeledDevice — every SimDevice does) are auto-labeled,
+// so their RTTs land in the per-switch histogram child and flight track
+// without any caller wiring.
 func NewEngine(dev Device) *Engine {
 	e := &Engine{dev: dev, InPort: 1}
 	e.frameDev, _ = dev.(FrameDevice)
 	e.pipeDev, _ = dev.(PipelinedDevice)
+	e.flightRec = telemetry.DefaultFlight()
 	e.SetTelemetry(telemetry.Default(), telemetry.DefaultTracer())
+	if ld, ok := dev.(LabeledDevice); ok {
+		e.SetLabel(ld.TelemetryLabel())
+	}
 	return e
 }
 
 // SetTelemetry rebinds the engine's metrics and tracer. Either argument may
-// be nil to disable that half.
+// be nil to disable that half. A label bound earlier is re-applied against
+// the new registry.
 func (e *Engine) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	e.reg = reg
 	e.tracer = tr
 	e.mFlowMods = reg.Counter("probe.flowmods")
 	e.mProbes = reg.Counter("probe.probes_sent")
@@ -180,7 +210,41 @@ func (e *Engine) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	e.mFrameHits = reg.Counter("probe.frame_cache_hits")
 	e.mFrameMiss = reg.Counter("probe.frame_cache_misses")
 	e.hRTT = reg.Histogram("probe.rtt_ns")
+	e.hRTTSw = nil
+	if e.label != "" {
+		e.SetLabel(e.label)
+	}
 }
+
+// SetFlight rebinds the engine's flight recorder (picked up from
+// telemetry.DefaultFlight at construction). The current label's track is
+// rebound; pass nil to stop recording flight samples.
+func (e *Engine) SetFlight(fr *telemetry.FlightRecorder) {
+	e.flightRec = fr
+	e.flight = nil
+	if e.label != "" {
+		e.SetLabel(e.label)
+	}
+}
+
+// SetLabel names the switch this engine probes. It binds the per-switch
+// probe.rtt_ns{switch=label} histogram child (observed alongside the fleet
+// aggregate) and the label's flight-recorder track. An empty label unbinds
+// both. Engines over labeled devices call this automatically at
+// construction; fleets label TCP members by their member names.
+func (e *Engine) SetLabel(label string) {
+	e.label = label
+	if label == "" {
+		e.hRTTSw = nil
+		e.flight = nil
+		return
+	}
+	e.hRTTSw = e.reg.HistogramVec("probe.rtt_ns", "switch").With(label)
+	e.flight = e.flightRec.Track(label)
+}
+
+// Label returns the switch label bound by SetLabel ("" when unlabeled).
+func (e *Engine) Label() string { return e.label }
 
 // Tracer returns the engine's tracer (possibly nil). The inference
 // algorithms use it to emit probe.round / infer.size spans on the device's
@@ -357,6 +421,15 @@ func (e *Engine) Probe(id uint32) (time.Duration, bool, error) {
 	if err == nil {
 		e.mProbes.Add(1)
 		e.hRTT.Observe(float64(rtt))
+		// Labeled/flight recording guards explicitly rather than leaning on
+		// nil-safe receivers: unlabeled engines skip the calls outright, so
+		// the per-probe overhead of the uninstrumented path is two compares.
+		if e.hRTTSw != nil {
+			e.hRTTSw.Observe(float64(rtt))
+		}
+		if e.flight != nil {
+			e.flight.Record(e.dev.Now(), time.Now(), rtt, id, punted)
+		}
 		if punted {
 			e.mPunted.Add(1)
 		}

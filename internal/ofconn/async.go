@@ -11,6 +11,7 @@ package ofconn
 
 import (
 	"sync"
+	"time"
 
 	"tango/internal/openflow"
 	"tango/internal/switchsim"
@@ -24,10 +25,13 @@ const asyncWindow = 64
 // wireFrame is one encoded message bound for the writer goroutine. A nil
 // ack is fire-and-forget (flow-mods: their outcome arrives via the barrier
 // protocol); barriers carry an ack so the flusher knows the bytes reached
-// the wire — or didn't — before it starts awaiting the reply.
+// the wire — or didn't — before it starts awaiting the reply. cp, when
+// non-nil, is the op's completion: the writer stamps its wire-write instant
+// so the xid-level span segments can separate queueing delay from wire RTT.
 type wireFrame struct {
 	data []byte
 	ack  chan error
+	cp   *Completion
 }
 
 // asyncState is the controller's pipelining state. Its mutex is separate
@@ -52,6 +56,16 @@ type Completion struct {
 	ch   chan openflow.Message
 	done chan struct{}
 	err  error
+
+	// Span timestamps, stamped only when telemetry is bound (zero
+	// otherwise): submit at FlowModAsync entry, enqueued when the frame is
+	// handed to the writer, wrote when its bytes hit the wire (stamped by
+	// the writer goroutine; the flush's barrier ack orders that write
+	// before any read here). Resolved into the
+	// ofconn.controller.span.* histograms by flushWindow.
+	submit   time.Time
+	enqueued time.Time
+	wrote    time.Time
 }
 
 // Wait blocks until a barrier covering the op has completed and returns the
@@ -95,6 +109,11 @@ func (cp *Completion) Err() (err error, ok bool) {
 // nothing left pending. Per-op rejections inside that forced flush do not
 // surface here — they belong to their own completions.
 func (c *Controller) FlowModAsync(fm *openflow.FlowMod) (*Completion, error) {
+	spans := c.tel.spansEnabled()
+	var submit time.Time
+	if spans {
+		submit = time.Now()
+	}
 	a := &c.async
 	a.mu.Lock()
 	full := len(a.window) >= asyncWindow
@@ -110,12 +129,15 @@ func (c *Controller) FlowModAsync(fm *openflow.FlowMod) (*Completion, error) {
 	}
 	fm.SetXID(xid)
 	data := fm.Marshal(nil)
-	cp := &Completion{c: c, xid: xid, ch: ch, done: make(chan struct{})}
+	cp := &Completion{c: c, xid: xid, ch: ch, done: make(chan struct{}), submit: submit}
 	a.mu.Lock()
-	if err := c.enqueueLocked(wireFrame{data: data}); err != nil {
+	if err := c.enqueueLocked(wireFrame{data: data, cp: cp}); err != nil {
 		a.mu.Unlock()
 		c.unregister(xid)
 		return nil, err
+	}
+	if spans {
+		cp.enqueued = time.Now()
 	}
 	a.window = append(a.window, cp)
 	a.mu.Unlock()
@@ -156,8 +178,17 @@ func (c *Controller) flushWindow() (reject, err error) {
 	}
 	c.tel.asyncFlushes.Add(1)
 	ferr := c.barrierAsync()
+	var resolve time.Time
+	if ferr == nil && c.tel.spansEnabled() {
+		// One stamp for the whole window: the trailing barrier resolved
+		// every op at the same instant.
+		resolve = time.Now()
+	}
 	for _, cp := range window {
 		c.unregister(cp.xid)
+		if !resolve.IsZero() {
+			c.noteOpSpans(cp, resolve)
+		}
 		opErr := ferr
 		if ferr == nil {
 			// The agent writes an op's error reply before the barrier reply,
@@ -182,6 +213,32 @@ func (c *Controller) flushWindow() (reject, err error) {
 		}
 	}
 	return reject, ferr
+}
+
+// noteOpSpans records one resolved op's xid-level segments: submit→enqueue
+// (window admission, including any forced flush), enqueue→wire-write (the
+// writer's queueing delay — the component that must never pollute a
+// measurement probe's RTT), and wire-write→barrier-resolve (wire round trip
+// plus switch processing). Only called on a successful flush, whose barrier
+// ack ordered the writer's wrote stamp before this read; a zero wrote stamp
+// (frame never written, e.g. enqueued after a poisoned write) skips the
+// wire-relative segments.
+func (c *Controller) noteOpSpans(cp *Completion, resolve time.Time) {
+	if cp.submit.IsZero() {
+		return
+	}
+	c.tel.hSubmitEnqueue.Observe(float64(cp.enqueued.Sub(cp.submit)))
+	if cp.wrote.IsZero() {
+		return
+	}
+	c.tel.hQueueWire.Observe(float64(cp.wrote.Sub(cp.enqueued)))
+	c.tel.hWireBarrier.Observe(float64(resolve.Sub(cp.wrote)))
+	if tr := c.tel.tracer; tr != nil {
+		args := map[string]any{"xid": cp.xid}
+		tr.Record("ofconn.op.enqueue", "ofconn.async", cp.submit, cp.enqueued.Sub(cp.submit), args)
+		tr.Record("ofconn.op.queue", "ofconn.async", cp.enqueued, cp.wrote.Sub(cp.enqueued), args)
+		tr.Record("ofconn.op.barrier", "ofconn.async", cp.wrote, resolve.Sub(cp.wrote), args)
+	}
 }
 
 // barrierAsync sends a barrier through the writer queue — behind every
@@ -297,14 +354,19 @@ func (c *Controller) asyncWriter() {
 	var (
 		buf    []byte
 		acks   []chan error
+		cps    []*Completion
 		sticky error
 	)
 	for f := range c.async.queue {
 		buf = append(buf[:0], f.data...)
 		acks = acks[:0]
+		cps = cps[:0]
 		frames := int64(1)
 		if f.ack != nil {
 			acks = append(acks, f.ack)
+		}
+		if f.cp != nil && !f.cp.submit.IsZero() {
+			cps = append(cps, f.cp)
 		}
 	coalesce:
 		for {
@@ -318,6 +380,9 @@ func (c *Controller) asyncWriter() {
 				if f2.ack != nil {
 					acks = append(acks, f2.ack)
 				}
+				if f2.cp != nil && !f2.cp.submit.IsZero() {
+					cps = append(cps, f2.cp)
+				}
 			default:
 				break coalesce
 			}
@@ -328,6 +393,15 @@ func (c *Controller) asyncWriter() {
 			} else {
 				c.tel.msgsOut.Add(frames)
 				c.tel.asyncWrites.Add(1)
+				if len(cps) > 0 {
+					// One stamp per coalesced batch: every frame in it hit
+					// the wire in the same syscall. Reads are ordered behind
+					// this by the flush barrier's ack round trip.
+					wrote := time.Now()
+					for _, cp := range cps {
+						cp.wrote = wrote
+					}
+				}
 			}
 		}
 		for _, ach := range acks {

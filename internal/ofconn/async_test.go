@@ -2,6 +2,7 @@ package ofconn
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"testing"
 	"time"
@@ -329,5 +330,97 @@ func TestEngineBatchOverPipelinedChannel(t *testing.T) {
 	}
 	if len(flows) != 0 {
 		t.Fatalf("flow count after clear = %d, want 0", len(flows))
+	}
+}
+
+// TestAsyncOpSpans checks the xid-level span segments of the pipelined path:
+// every successfully flushed op lands one observation in each of the
+// submit→enqueue, queue→wire and wire→barrier histograms, and the recorded
+// durations are non-negative.
+func TestAsyncOpSpans(t *testing.T) {
+	sw := switchsim.New(switchsim.Switch2(), switchsim.WithClock(fastClock()))
+	addr := startSwitch(t, sw)
+	reg := telemetry.NewRegistry()
+	c, err := DialOptions(addr, ControllerOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 17
+	fms := make([]*openflow.FlowMod, n)
+	for i := range fms {
+		fms[i] = probeAdd(uint32(1000 + i))
+	}
+	errs, err := c.FlowModBatch(fms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("op %d: %v", i, e)
+		}
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"ofconn.controller.span.submit_enqueue_ns",
+		"ofconn.controller.span.queue_wire_ns",
+		"ofconn.controller.span.wire_barrier_ns",
+	} {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Fatalf("%s missing from snapshot", name)
+		}
+		if h.Count != n {
+			t.Fatalf("%s count = %d, want %d", name, h.Count, n)
+		}
+		if h.Min < 0 {
+			t.Fatalf("%s min = %v, want >= 0", name, h.Min)
+		}
+	}
+}
+
+// TestAsyncOpSpansSkippedWhenUninstrumented checks the uninstrumented path
+// stays stamp-free: with no metrics bound, completions carry zero timestamps.
+func TestAsyncOpSpansSkippedWhenUninstrumented(t *testing.T) {
+	c, _ := dialFlaky(t)
+	cp, err := c.FlowModAsync(probeAdd(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !cp.submit.IsZero() || !cp.enqueued.IsZero() || !cp.wrote.IsZero() {
+		t.Fatalf("uninstrumented completion carries timestamps: %+v", cp)
+	}
+}
+
+// TestControllerAutoLabel: a probe engine over a live channel must pick up
+// the controller's datapath-ID label (Controller implements
+// probe.LabeledDevice), so per-switch histogram children and flight tracks
+// bind over TCP exactly as they do for emulated devices.
+func TestControllerAutoLabel(t *testing.T) {
+	c, _ := dialFlaky(t)
+	e := probe.NewEngine(c)
+	want := fmt.Sprintf("dpid-%#x", c.Features().DatapathID)
+	if e.Label() != want {
+		t.Fatalf("auto label = %q, want %q", e.Label(), want)
+	}
+
+	reg := telemetry.NewRegistry()
+	e.SetTelemetry(reg, nil)
+	e.SetFlight(telemetry.NewFlightRecorder(16))
+	if err := e.Install(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Probe(1); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	child := telemetry.ChildName("probe.rtt_ns", "switch", want)
+	if h, ok := snap.Histograms[child]; !ok || h.Count != 1 {
+		t.Fatalf("labeled child %q: present=%v count=%+v", child, ok, h)
 	}
 }

@@ -68,6 +68,15 @@ type ctrlTelemetry struct {
 	asyncFlushes *telemetry.Counter
 	asyncWrites  *telemetry.Counter
 	hHandshake   *telemetry.Histogram
+
+	// xid-level span segments of the pipelined send path (async.go). Each
+	// async op is split so queueing delay is visible separately from wire
+	// round trip — the separation that guards the serial-measurement-probe
+	// invariant: measurement RTTs must never include time an op spent
+	// waiting behind a window.
+	hSubmitEnqueue *telemetry.Histogram // FlowModAsync entry → frame handed to writer
+	hQueueWire     *telemetry.Histogram // writer queue wait → bytes on the wire
+	hWireBarrier   *telemetry.Histogram // wire write → covering barrier resolved
 }
 
 func (t *ctrlTelemetry) init(opts ControllerOptions) {
@@ -86,6 +95,16 @@ func (t *ctrlTelemetry) init(opts ControllerOptions) {
 	t.asyncFlushes = reg.Counter("ofconn.controller.async_flushes")
 	t.asyncWrites = reg.Counter("ofconn.controller.async_writes")
 	t.hHandshake = reg.Histogram("ofconn.controller.handshake_ns")
+	t.hSubmitEnqueue = reg.Histogram("ofconn.controller.span.submit_enqueue_ns")
+	t.hQueueWire = reg.Histogram("ofconn.controller.span.queue_wire_ns")
+	t.hWireBarrier = reg.Histogram("ofconn.controller.span.wire_barrier_ns")
+}
+
+// spansEnabled reports whether per-op timestamping is worth the time.Now
+// calls: false exactly when no registry and no tracer is bound, keeping the
+// uninstrumented async path free of clock reads.
+func (t *ctrlTelemetry) spansEnabled() bool {
+	return t.hSubmitEnqueue != nil || t.tracer != nil
 }
 
 // ErrClosed is returned for operations on a closed controller connection.
@@ -277,6 +296,14 @@ func (c *Controller) handshake() error {
 
 // Features returns the switch's features reply from the handshake.
 func (c *Controller) Features() *openflow.FeaturesReply { return c.features }
+
+// TelemetryLabel implements probe.LabeledDevice with the switch's datapath
+// ID, so engines over a live channel auto-bind a per-switch histogram child
+// and flight-recorder track just like emulated devices do. Fleets override
+// it afterwards with their member names via SetLabel.
+func (c *Controller) TelemetryLabel() string {
+	return fmt.Sprintf("dpid-%#x", c.features.DatapathID)
+}
 
 // FlowMod sends the flow-mod followed by a barrier and waits for the
 // barrier reply, so the operation is confirmed complete. A switch-side

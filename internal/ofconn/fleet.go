@@ -68,7 +68,11 @@ func (f *Fleet) Engines() map[string]*probe.Engine {
 	defer f.mu.Unlock()
 	out := make(map[string]*probe.Engine, len(f.members))
 	for n, c := range f.members {
-		out[n] = probe.NewEngine(c)
+		e := probe.NewEngine(c)
+		// TCP controllers carry no device label; the member name is the
+		// switch's identity here, so per-switch RTT telemetry keys on it.
+		e.SetLabel(n)
+		out[n] = e
 	}
 	return out
 }
@@ -90,7 +94,9 @@ func (f *Fleet) ProbeAll(db *pattern.DB, opts infer.CostOptions) error {
 		wg.Add(1)
 		go func(name string, c *Controller) {
 			defer wg.Done()
-			card, err := infer.MeasureCosts(probe.NewEngine(c), name, opts)
+			e := probe.NewEngine(c)
+			e.SetLabel(name)
+			card, err := infer.MeasureCosts(e, name, opts)
 			if err != nil {
 				errs <- fmt.Errorf("ofconn: probing %s: %w", name, err)
 				return

@@ -53,9 +53,12 @@ func (t *switchTelemetry) init(reg *telemetry.Registry, tr *telemetry.Tracer, na
 	t.idxPushes = reg.Counter("switchsim.evict_index.pushes")
 	t.idxRemoves = reg.Counter("switchsim.evict_index.removes")
 	t.idxFixups = reg.Counter("switchsim.evict_index.fixups")
-	t.tcamOcc = reg.Gauge("switchsim." + name + ".tcam_occupancy")
-	t.softOcc = reg.Gauge("switchsim." + name + ".software_occupancy")
-	t.kernelOcc = reg.Gauge("switchsim." + name + ".kernel_occupancy")
+	// Occupancy is per switch instance: labeled children of one gauge family
+	// per table, so exporters can slice the fleet by switch name instead of
+	// parsing name-mangled metric keys.
+	t.tcamOcc = reg.GaugeVec("switchsim.tcam_occupancy", "switch").With(name)
+	t.softOcc = reg.GaugeVec("switchsim.software_occupancy", "switch").With(name)
+	t.kernelOcc = reg.GaugeVec("switchsim.kernel_occupancy", "switch").With(name)
 	t.hFlowMod = reg.Histogram("switchsim.flowmod_ns")
 	t.hIdxDepth = reg.Histogram("switchsim.evict_index.depth",
 		1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)

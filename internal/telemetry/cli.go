@@ -1,32 +1,134 @@
 package telemetry
 
-// cli.go holds the one-call setup the commands share: bind fresh process
-// defaults when the user asked for an export file, and hand back a flush
-// function that writes the files when the run finishes.
+// cli.go holds the one-call setup the commands share: one flag set
+// (-metrics-out, -trace-out, -flight-out, -telemetry, -sample-every) bound
+// through CLI.BindFlags, one Setup call that installs fresh process
+// defaults, optionally serves the HTTP exporter, and hands back a flush
+// function that writes the export files when the run finishes.
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// CLI is the shared telemetry flag block. Bind it with BindFlags, then call
+// Setup after flag parsing.
+type CLI struct {
+	// MetricsOut, TraceOut, FlightOut are export file paths written by the
+	// flush function ("" disables each).
+	MetricsOut string
+	TraceOut   string
+	FlightOut  string
+	// Addr serves the live HTTP exporter (/metrics, /metrics/series,
+	// /trace, /flight, /debug/pprof) when non-empty.
+	Addr string
+	// SampleEvery is the windowed-series sampling interval for the HTTP
+	// exporter's /metrics/series endpoint.
+	SampleEvery time.Duration
+}
+
+// BindFlags registers the shared telemetry flags on fs (use flag.CommandLine
+// from a command's main).
+func (c *CLI) BindFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write a telemetry metrics snapshot (JSON) to this file")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write a Chrome trace_event file (JSON) to this file")
+	fs.StringVar(&c.FlightOut, "flight-out", "", "write the per-switch RTT flight recorder (JSON Lines) to this file")
+	fs.StringVar(&c.Addr, "telemetry", "", "serve /metrics, /metrics/series, /trace, /flight and /debug/pprof over HTTP on this address (e.g. 127.0.0.1:8080)")
+	fs.DurationVar(&c.SampleEvery, "sample-every", DefaultSampleInterval, "sampling interval for the windowed /metrics/series endpoint")
+}
+
+// Enabled reports whether any telemetry sink was requested.
+func (c *CLI) Enabled() bool {
+	return c.MetricsOut != "" || c.TraceOut != "" || c.FlightOut != "" || c.Addr != ""
+}
+
+// OutputPaths returns the flag-name/path pairs of the requested export
+// files, for commands that validate output destinations before running.
+func (c *CLI) OutputPaths() [][2]string {
+	var out [][2]string
+	for _, p := range [][2]string{
+		{"-metrics-out", c.MetricsOut}, {"-trace-out", c.TraceOut}, {"-flight-out", c.FlightOut},
+	} {
+		if p[1] != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Setup installs a fresh Registry, Tracer, and FlightRecorder as the
+// process defaults when any sink was requested, so components constructed
+// afterwards bind to them automatically. With Addr set it also binds the
+// listener (failing fast on a bad address), starts the windowed Sampler,
+// and serves the HTTP exporter in the background. The returned flush stops
+// the sampler and writes the requested files; it is never nil. When no sink
+// was requested nothing is installed and flush is a no-op.
+func (c *CLI) Setup() (flush func() error, err error) {
+	if !c.Enabled() {
+		return func() error { return nil }, nil
+	}
+	// Bind the listener before touching the process defaults, so a bad
+	// -telemetry address fails without leaving half-installed globals.
+	var ln net.Listener
+	if c.Addr != "" {
+		var err error
+		if ln, err = net.Listen("tcp", c.Addr); err != nil {
+			return nil, fmt.Errorf("telemetry: -telemetry %s: %w", c.Addr, err)
+		}
+	}
+	reg := NewRegistry()
+	tr := NewTracer(nil)
+	fr := NewFlightRecorder(0)
+	SetDefault(reg, tr)
+	SetDefaultFlight(fr)
+
+	var smp *Sampler
+	if ln != nil {
+		smp = NewSampler(reg, SamplerOptions{Interval: c.SampleEvery})
+		smp.Start()
+		h := HandlerFor(HandlerOptions{Registry: reg, Tracer: tr, Sampler: smp, Flight: fr})
+		go func() {
+			if serr := http.Serve(ln, h); serr != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: http: %v\n", serr)
+			}
+		}()
+	}
+	return func() error {
+		smp.Stop()
+		if c.MetricsOut != "" {
+			if err := reg.WriteFile(c.MetricsOut); err != nil {
+				return err
+			}
+		}
+		if c.TraceOut != "" {
+			if err := tr.WriteFile(c.TraceOut); err != nil {
+				return err
+			}
+		}
+		if c.FlightOut != "" {
+			if err := fr.WriteFile(c.FlightOut); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
 
 // Setup installs a new Registry and Tracer as the process defaults when
 // metricsPath or tracePath is non-empty, so components constructed afterwards
 // (engines, switches, scheduler runs) bind to them automatically. The
 // returned flush writes the requested files; it is never nil. When both
 // paths are empty nothing is installed and flush is a no-op.
+//
+// It is the file-only predecessor of CLI.Setup, kept for embedders that do
+// not want the flag block.
 func Setup(metricsPath, tracePath string) (flush func() error) {
-	if metricsPath == "" && tracePath == "" {
-		return func() error { return nil }
-	}
-	reg := NewRegistry()
-	tr := NewTracer(nil)
-	SetDefault(reg, tr)
-	return func() error {
-		if metricsPath != "" {
-			if err := reg.WriteFile(metricsPath); err != nil {
-				return err
-			}
-		}
-		if tracePath != "" {
-			if err := tr.WriteFile(tracePath); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
+	c := CLI{MetricsOut: metricsPath, TraceOut: tracePath}
+	// No Addr means no listener, so CLI.Setup cannot fail.
+	flush, _ = c.Setup()
+	return flush
 }

@@ -36,9 +36,50 @@
 // zero conditional clutter and, with telemetry disabled, costs only a nil
 // check.
 //
-// Histograms keep fixed buckets plus a ring of the most recent observations;
-// snapshots derive quantile summaries (p50/p90/p99) from the ring with
-// internal/stats.Percentile.
+// Histograms keep fixed buckets plus a ring of the most recent observations.
+//
+// # Quantile precedence: ring, then buckets
+//
+// A histogram snapshot derives its p50/p90/p99 from the observation ring
+// (internal/stats.Percentile — near-exact) for as long as every observation
+// still fits, i.e. while the total count is at most the ring size (1024).
+// Once the ring has wrapped, the ring no longer represents the full
+// distribution — it holds only the newest observations — so the snapshot
+// switches to the bucket counts and interpolates linearly within the bucket
+// containing each quantile rank, clamped to the observed min/max. Ring
+// quantiles are exact but recent-biased after a wrap; bucket quantiles are
+// approximate (bounded by bucket width) but always cover the whole
+// population. Choosing exactness below the threshold and coverage above it
+// keeps short benchmark runs precise without letting long runs silently
+// report quantiles of the last 1024 samples only.
+//
+// # Labeled vectors
+//
+// CounterVec, GaugeVec and HistogramVec add one-label metric families
+// ("switch", "profile"): With(value) returns the child metric, registering
+// it on first use under the canonical name family{key="value"} (ChildName),
+// so children appear in snapshots, the sampler, and the HTTP exporter
+// exactly like plain metrics. The child table is copy-on-write behind an
+// atomic pointer: the hit path is one atomic load plus a map lookup — no
+// lock, no allocation — so labeled recording matches the unlabeled cost.
+//
+// # Windowed time series
+//
+// A Sampler turns the registry's cumulative metrics into a bounded ring of
+// interval windows: per-counter deltas, rates and EWMA-smoothed rates,
+// per-histogram window quantiles (from bucket deltas between ticks), and
+// runtime health (heap, GC pause, goroutines). Each window is stamped on
+// both clocks. Series() returns the retained windows; the HTTP exporter
+// serves them at /metrics/series.
+//
+// # Flight recorder
+//
+// A FlightRecorder keeps one bounded ring of raw probe RTT samples per
+// switch (FlightTrack), each sample carrying both clocks, the flow ID, the
+// punted flag, and a per-track sequence number that reveals drops. It is the
+// raw-sample companion to the probe.rtt_ns histograms, exported as JSON
+// Lines (WriteJSONL, /flight). SetDefaultFlight installs the process-wide
+// default the probe engine binds per-switch tracks from.
 //
 // # Tracing
 //
@@ -63,6 +104,9 @@
 //   - Registry.WriteJSON / Registry.WriteFile: one JSON snapshot of every
 //     metric.
 //   - Tracer.WriteTrace / Tracer.WriteFile: Chrome trace_event JSON.
-//   - Handler: an expvar-style HTTP endpoint serving both (wired into
-//     cmd/switchd behind the -telemetry flag).
+//   - Sampler.WriteJSON: the windowed time series.
+//   - FlightRecorder.WriteJSONL / WriteFile: raw RTT samples, JSON Lines.
+//   - HandlerFor: the HTTP surface — /metrics, /metrics/series, /trace,
+//     /flight and /debug/pprof — served by every command's -telemetry flag
+//     (the shared CLI flag block in cli.go).
 package telemetry

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 )
@@ -159,35 +160,83 @@ func (t *Tracer) WriteFile(path string) error {
 	return nil
 }
 
+// HandlerOptions selects what HandlerFor serves. Every field may be nil;
+// the corresponding endpoint then serves an empty document, so a partially
+// configured process still exposes a well-formed surface.
+type HandlerOptions struct {
+	Registry *Registry
+	Tracer   *Tracer
+	// Sampler backs /metrics/series with windowed time series.
+	Sampler *Sampler
+	// Flight backs /flight with the per-switch RTT flight recorder JSONL.
+	Flight *FlightRecorder
+	// DisablePprof removes the /debug/pprof routes (served by default: the
+	// exporter is a diagnostics endpoint, and live profiles are half the
+	// point of having one).
+	DisablePprof bool
+}
+
 // Handler returns an expvar-style HTTP handler exposing the registry and
-// tracer:
-//
-//	GET /metrics  — JSON metrics snapshot
-//	GET /trace    — Chrome trace_event JSON of the spans recorded so far
-//	GET /         — plain-text index
-//
-// Either argument may be nil, in which case the corresponding endpoint
-// serves an empty document.
+// tracer (see HandlerFor for the full route set). Either argument may be
+// nil, in which case the corresponding endpoint serves an empty document.
 func Handler(r *Registry, t *Tracer) http.Handler {
+	return HandlerFor(HandlerOptions{Registry: r, Tracer: t})
+}
+
+// HandlerFor returns the telemetry HTTP handler:
+//
+//	GET /metrics         — JSON metrics snapshot (labeled children appear
+//	                       under their family{key="value"} names)
+//	GET /metrics/series  — windowed time series (rates, EWMA, per-window
+//	                       quantiles, runtime health) from the Sampler
+//	GET /trace           — Chrome trace_event JSON of the spans so far
+//	GET /flight          — per-switch RTT flight recorder, JSON Lines
+//	GET /debug/pprof/*   — live Go profiles (unless DisablePprof)
+//	GET /                — plain-text index
+func HandlerFor(opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := r.WriteJSON(w); err != nil {
+		if err := opts.Registry.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics/series", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := opts.Sampler.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := t.WriteTrace(w); err != nil {
+		if err := opts.Tracer.WriteTrace(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := opts.Flight.WriteJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	if !opts.DisablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintln(w, "tango telemetry\n  /metrics  JSON metrics snapshot\n  /trace    Chrome trace_event JSON (open in ui.perfetto.dev)")
+		fmt.Fprintln(w, `tango telemetry
+  /metrics         JSON metrics snapshot
+  /metrics/series  windowed time series (rates, EWMA, per-window quantiles)
+  /trace           Chrome trace_event JSON (open in ui.perfetto.dev)
+  /flight          per-switch RTT flight recorder (JSON Lines)
+  /debug/pprof/    live Go profiles`)
 	})
 	return mux
 }

@@ -1,0 +1,215 @@
+package telemetry
+
+// flight.go is the per-switch RTT flight recorder: a bounded ring of the
+// most recent probe round trips for every switch the process talks to, each
+// sample stamped on both clocks and tagged with the flow that produced it.
+// It is the raw-sample companion to the aggregated probe.rtt_ns histograms:
+// quantiles tell you a distribution moved, the flight recorder tells you
+// when, on which flow, and whether the probe punted — the stream the
+// change-point drift detector and the fingerprinting analyses (arXiv
+// 1611.02370) consume. Bounded like an aircraft recorder: old samples fall
+// off, memory never grows past tracks × capacity.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultFlightCapacity is the per-track sample ring size.
+const DefaultFlightCapacity = 4096
+
+// FlightSample is one recorded probe round trip.
+type FlightSample struct {
+	// Switch is the track label (switch/profile name). Filled on export;
+	// tracks do not store it per sample.
+	Switch string `json:"switch,omitempty"`
+	// Seq numbers samples per track from 1, so exports reveal how many
+	// samples the ring has already dropped.
+	Seq uint64 `json:"seq"`
+	// Virt is the instant on the device's measurement clock (virtual for
+	// emulated switches, wall for TCP); Wall is when it was recorded.
+	Virt time.Time `json:"virt"`
+	Wall time.Time `json:"wall"`
+	// RTT is the measured round trip.
+	RTT time.Duration `json:"rtt_ns"`
+	// FlowID is the probe flow that produced the sample.
+	FlowID uint32 `json:"flow_id"`
+	// Punted reports whether the frame went to the controller (NO_MATCH)
+	// instead of being forwarded.
+	Punted bool `json:"punted"`
+}
+
+// FlightTrack is one switch's bounded sample ring. Record is mutex-guarded
+// but allocation-free; a nil *FlightTrack is a no-op.
+type FlightTrack struct {
+	mu   sync.Mutex
+	buf  []FlightSample
+	next int
+	seq  uint64
+}
+
+// Record appends one sample, overwriting the oldest once the ring is full.
+func (t *FlightTrack) Record(virt, wall time.Time, rtt time.Duration, flowID uint32, punted bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	t.buf[t.next] = FlightSample{
+		Seq: t.seq, Virt: virt, Wall: wall, RTT: rtt, FlowID: flowID, Punted: punted,
+	}
+	t.next = (t.next + 1) % len(t.buf)
+	t.mu.Unlock()
+}
+
+// Samples returns a copy of the retained samples, oldest first (nil track:
+// nil).
+func (t *FlightTrack) Samples() []FlightSample {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]FlightSample, 0, len(t.buf))
+	for i := 0; i < len(t.buf); i++ {
+		s := t.buf[(t.next+i)%len(t.buf)]
+		if s.Seq != 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Len returns how many samples the track currently retains.
+func (t *FlightTrack) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.seq >= uint64(len(t.buf)) {
+		return len(t.buf)
+	}
+	return int(t.seq)
+}
+
+// FlightRecorder owns one FlightTrack per switch. Track lookups follow the
+// vec pattern: copy-on-write map, so the hit path is one atomic load. A nil
+// *FlightRecorder hands out nil tracks, keeping the disabled configuration
+// free.
+type FlightRecorder struct {
+	capacity int
+	mu       sync.Mutex
+	m        atomic.Pointer[map[string]*FlightTrack]
+}
+
+// NewFlightRecorder returns a recorder whose tracks hold capacity samples
+// each (0 selects DefaultFlightCapacity).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{capacity: capacity}
+}
+
+// Track returns (creating if needed) the named switch's track.
+func (fr *FlightRecorder) Track(name string) *FlightTrack {
+	if fr == nil {
+		return nil
+	}
+	if p := fr.m.Load(); p != nil {
+		if t := (*p)[name]; t != nil {
+			return t
+		}
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if p := fr.m.Load(); p != nil {
+		if t := (*p)[name]; t != nil {
+			return t
+		}
+	}
+	t := &FlightTrack{buf: make([]FlightSample, fr.capacity)}
+	old := fr.m.Load()
+	next := make(map[string]*FlightTrack, 1)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[name] = t
+	fr.m.Store(&next)
+	return t
+}
+
+// Tracks returns the sorted track names (nil recorder: nil).
+func (fr *FlightRecorder) Tracks() []string {
+	if fr == nil {
+		return nil
+	}
+	p := fr.m.Load()
+	if p == nil {
+		return nil
+	}
+	return metricNames(*p)
+}
+
+// WriteJSONL writes every track's retained samples as JSON Lines — one
+// sample object per line, tracks in sorted name order, each track oldest
+// first. The schema is FlightSample's JSON form with the track name in
+// "switch". A nil recorder writes nothing and returns nil.
+func (fr *FlightRecorder) WriteJSONL(w io.Writer) error {
+	if fr == nil {
+		return nil
+	}
+	p := fr.m.Load()
+	if p == nil {
+		return nil
+	}
+	names := metricNames(*p)
+	enc := json.NewEncoder(w)
+	for _, name := range names {
+		for _, s := range (*p)[name].Samples() {
+			s.Switch = name
+			if err := enc.Encode(s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the JSONL export to path.
+func (fr *FlightRecorder) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: flight export: %w", err)
+	}
+	if err := fr.WriteJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: flight export: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: flight export: %w", err)
+	}
+	return nil
+}
+
+// Process-wide default flight recorder, following the registry/tracer
+// pattern: nil until a command installs one, so the default configuration
+// records nothing.
+var defaultFlight atomic.Pointer[FlightRecorder]
+
+// SetDefaultFlight installs the process-wide default flight recorder (may
+// be nil). Like SetDefault it must run before instrumented objects are
+// constructed.
+func SetDefaultFlight(fr *FlightRecorder) { defaultFlight.Store(fr) }
+
+// DefaultFlight returns the process-wide default flight recorder (nil when
+// unset).
+func DefaultFlight() *FlightRecorder { return defaultFlight.Load() }

@@ -104,6 +104,43 @@ func casFloat(a *atomic.Uint64, v float64, better func(cur float64) bool) {
 	}
 }
 
+// bucketQuantile estimates the q-th percentile from per-bucket counts
+// (counts[i] pairs with upper bound bounds[i]; the final slot is the +Inf
+// overflow bucket) by locating the containing bucket and interpolating
+// linearly inside it. min/max clamp the bucket edges to the observed range,
+// which pins the open-ended first and overflow buckets to real values.
+// Returns 0 when total is 0.
+func bucketQuantile(bounds []float64, counts []int64, total int64, min, max float64, q float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	rank := q / 100 * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lo := min
+		if i > 0 && bounds[i-1] > lo {
+			lo = bounds[i-1]
+		}
+		hi := max
+		if i < len(bounds) && bounds[i] < hi {
+			hi = bounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		return lo + (hi-lo)*((rank-prev)/float64(c))
+	}
+	return max
+}
+
 // BucketCount is one cumulative-free histogram bucket: the number of
 // observations v with prevLE < v ≤ LE. The final bucket has LE = +Inf.
 type BucketCount struct {
@@ -126,6 +163,14 @@ type HistogramSnapshot struct {
 }
 
 // Snapshot summarises the histogram. Empty histograms report all zeros.
+//
+// Quantiles follow a ring-vs-bucket precedence: while the recent-observation
+// ring still holds the complete stream (count ≤ ring capacity) they are
+// computed from the ring, which is near-exact. Once the ring has wrapped it
+// only retains the most recent window — quantiles from it would silently
+// describe recency, not the distribution — so the snapshot switches to the
+// full-stream bucket counts, linearly interpolating within the containing
+// bucket (see bucketQuantile, and the precedence note in the package docs).
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
@@ -141,17 +186,29 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Max:   math.Float64frombits(h.max.Load()),
 	}
 	s.Mean = s.Sum / float64(n)
-	held := h.ringN.Load()
-	if held > reservoirSize {
-		held = reservoirSize
+	if n <= reservoirSize {
+		held := h.ringN.Load()
+		if held > reservoirSize {
+			held = reservoirSize
+		}
+		sample := make([]float64, held)
+		for i := range sample {
+			sample[i] = math.Float64frombits(h.ring[i].Load())
+		}
+		s.P50, _ = stats.Percentile(sample, 50)
+		s.P90, _ = stats.Percentile(sample, 90)
+		s.P99, _ = stats.Percentile(sample, 99)
+	} else {
+		counts := make([]int64, len(h.buckets))
+		var total int64
+		for i := range h.buckets {
+			counts[i] = h.buckets[i].Load()
+			total += counts[i]
+		}
+		s.P50 = bucketQuantile(h.bounds, counts, total, s.Min, s.Max, 50)
+		s.P90 = bucketQuantile(h.bounds, counts, total, s.Min, s.Max, 90)
+		s.P99 = bucketQuantile(h.bounds, counts, total, s.Min, s.Max, 99)
 	}
-	sample := make([]float64, held)
-	for i := range sample {
-		sample[i] = math.Float64frombits(h.ring[i].Load())
-	}
-	s.P50, _ = stats.Percentile(sample, 50)
-	s.P90, _ = stats.Percentile(sample, 90)
-	s.P99, _ = stats.Percentile(sample, 99)
 	s.Buckets = make([]BucketCount, 0, len(h.buckets))
 	for i := range h.buckets {
 		c := h.buckets[i].Load()

@@ -70,14 +70,24 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// Labeled families (vec.go). Children register into the plain maps
+	// above under `family{key="value"}` names, so the maps below only route
+	// With lookups.
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
+		counters:    map[string]*Counter{},
+		gauges:      map[string]*Gauge{},
+		hists:       map[string]*Histogram{},
+		counterVecs: map[string]*CounterVec{},
+		gaugeVecs:   map[string]*GaugeVec{},
+		histVecs:    map[string]*HistogramVec{},
 	}
 }
 

@@ -1,0 +1,431 @@
+package telemetry
+
+// sampler.go turns the registry's cumulative metrics into time series. A
+// Sampler periodically walks every registered metric (the shape of the FaaS
+// controller's sys_measure snapshot pass) and appends one interval snapshot
+// per metric to a bounded ring: counters become per-window deltas with
+// rates and an EWMA, gauges become sampled values, histograms become
+// per-window count/sum plus quantiles interpolated from the interval's
+// bucket deltas. Each window is stamped on both clocks — wall time, and the
+// virtual clock when one is supplied — so emulator runs can be asked "what
+// happened over the last 30 virtual seconds" and TCP runs "over the last 30
+// real ones". Every tick also captures runtime health (heap, GC pauses,
+// goroutine count), which is the drift detector's baseline for separating
+// switch-side change from controller-side load.
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Sampler defaults.
+const (
+	// DefaultSampleInterval is Start's wall-clock tick period.
+	DefaultSampleInterval = time.Second
+	// DefaultWindows is the per-metric ring capacity: with the default
+	// interval, two minutes of history.
+	DefaultWindows = 120
+	// DefaultEWMAAlpha is the rate-smoothing factor (weight of the newest
+	// window).
+	DefaultEWMAAlpha = 0.3
+)
+
+// SamplerOptions configures NewSampler. The zero value selects the defaults
+// above with wall-clock stamping only.
+type SamplerOptions struct {
+	// Interval is the wall period of Start's loop; Tick may additionally be
+	// driven by hand (tests, virtual-time harnesses). Zero means
+	// DefaultSampleInterval.
+	Interval time.Duration
+	// Windows bounds each series ring. Zero means DefaultWindows.
+	Windows int
+	// VirtNow supplies the virtual clock for window stamps; nil stamps
+	// virtual time with wall time.
+	VirtNow func() time.Time
+	// Alpha is the EWMA smoothing factor in (0,1]. Zero means
+	// DefaultEWMAAlpha.
+	Alpha float64
+}
+
+// CounterPoint is one counter window: the delta accumulated over the
+// interval, its rate, and the smoothed rate.
+type CounterPoint struct {
+	Wall    time.Time     `json:"wall"`
+	Virt    time.Time     `json:"virt"`
+	Dur     time.Duration `json:"dur_ns"`
+	VirtDur time.Duration `json:"virt_dur_ns"`
+	Delta   int64         `json:"delta"`
+	Total   int64         `json:"total"`
+	Rate    float64       `json:"rate_per_s"`
+	EWMA    float64       `json:"ewma_per_s"`
+}
+
+// GaugePoint is one sampled gauge value.
+type GaugePoint struct {
+	Wall  time.Time `json:"wall"`
+	Virt  time.Time `json:"virt"`
+	Value int64     `json:"value"`
+}
+
+// HistogramPoint is one histogram window: observations and mass accumulated
+// over the interval, with quantiles interpolated from the interval's bucket
+// deltas (not the lifetime distribution).
+type HistogramPoint struct {
+	Wall    time.Time     `json:"wall"`
+	Virt    time.Time     `json:"virt"`
+	Dur     time.Duration `json:"dur_ns"`
+	VirtDur time.Duration `json:"virt_dur_ns"`
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Mean    float64       `json:"mean"`
+	P50     float64       `json:"p50"`
+	P90     float64       `json:"p90"`
+	P99     float64       `json:"p99"`
+	Rate    float64       `json:"rate_per_s"`
+	EWMA    float64       `json:"ewma_per_s"`
+}
+
+// RuntimePoint is one runtime-health sample.
+type RuntimePoint struct {
+	Wall         time.Time     `json:"wall"`
+	Virt         time.Time     `json:"virt"`
+	HeapAlloc    uint64        `json:"heap_alloc_bytes"`
+	HeapObjects  uint64        `json:"heap_objects"`
+	Goroutines   int           `json:"goroutines"`
+	NumGC        uint32        `json:"num_gc"`
+	GCPauseTotal time.Duration `json:"gc_pause_total_ns"`
+	GCPauseDelta time.Duration `json:"gc_pause_delta_ns"`
+}
+
+// ring is a bounded append-only window buffer.
+type ring[T any] struct {
+	buf  []T
+	next int
+	full bool
+}
+
+func (r *ring[T]) push(cap int, v T) {
+	if r.buf == nil {
+		r.buf = make([]T, cap)
+	}
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+}
+
+// ordered returns the retained points, oldest first.
+func (r *ring[T]) ordered() []T {
+	if r.buf == nil {
+		return nil
+	}
+	if !r.full {
+		return append([]T(nil), r.buf[:r.next]...)
+	}
+	out := make([]T, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+type counterSeries struct {
+	c    *Counter
+	prev int64
+	ewma float64
+	ring ring[CounterPoint]
+}
+
+type gaugeSeries struct {
+	g    *Gauge
+	ring ring[GaugePoint]
+}
+
+type histSeries struct {
+	h          *Histogram
+	prevCount  int64
+	prevSum    float64
+	prevBucket []int64
+	ewma       float64
+	ring       ring[HistogramPoint]
+}
+
+// Sampler drives windowed aggregation over one registry. All methods are
+// safe for concurrent use; a nil *Sampler is a no-op end to end.
+type Sampler struct {
+	reg  *Registry
+	opts SamplerOptions
+
+	mu       sync.Mutex
+	counters map[string]*counterSeries
+	gauges   map[string]*gaugeSeries
+	hists    map[string]*histSeries
+	runtime  ring[RuntimePoint]
+	prevGC   time.Duration
+	lastWall time.Time
+	lastVirt time.Time
+	ticks    int64
+
+	startMu sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewSampler returns a sampler over reg. It takes no measurements until
+// Start or Tick is called.
+func NewSampler(reg *Registry, opts SamplerOptions) *Sampler {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultSampleInterval
+	}
+	if opts.Windows <= 0 {
+		opts.Windows = DefaultWindows
+	}
+	if opts.Alpha <= 0 || opts.Alpha > 1 {
+		opts.Alpha = DefaultEWMAAlpha
+	}
+	return &Sampler{
+		reg:      reg,
+		opts:     opts,
+		counters: map[string]*counterSeries{},
+		gauges:   map[string]*gaugeSeries{},
+		hists:    map[string]*histSeries{},
+	}
+}
+
+// Start launches the periodic snapshot loop on the configured interval.
+// Calling Start on a running (or nil) sampler is a no-op.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.startMu.Lock()
+	defer s.startMu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(s.opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Tick()
+			case <-stop:
+				return
+			}
+		}
+	}(s.stop, s.done)
+}
+
+// Stop halts the loop started by Start and waits for it to exit. Safe on a
+// nil or never-started sampler.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.startMu.Lock()
+	defer s.startMu.Unlock()
+	if s.stop == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+	s.stop, s.done = nil, nil
+}
+
+// Tick takes one interval snapshot immediately. It is the loop body of
+// Start, exported so tests and virtual-time harnesses can drive windows
+// deterministically.
+func (s *Sampler) Tick() {
+	if s == nil {
+		return
+	}
+	wall := time.Now()
+	virt := wall
+	if s.opts.VirtNow != nil {
+		virt = s.opts.VirtNow()
+	}
+
+	// Collect stable metric handles under the registry lock, then read the
+	// atomics outside it.
+	type named[M any] struct {
+		name string
+		m    M
+	}
+	var (
+		cs []named[*Counter]
+		gs []named[*Gauge]
+		hs []named[*Histogram]
+	)
+	if s.reg != nil {
+		s.reg.mu.Lock()
+		for n, c := range s.reg.counters {
+			cs = append(cs, named[*Counter]{n, c})
+		}
+		for n, g := range s.reg.gauges {
+			gs = append(gs, named[*Gauge]{n, g})
+		}
+		for n, h := range s.reg.hists {
+			hs = append(hs, named[*Histogram]{n, h})
+		}
+		s.reg.mu.Unlock()
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	goroutines := runtime.NumGoroutine()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	first := s.ticks == 0
+	dur := wall.Sub(s.lastWall)
+	virtDur := virt.Sub(s.lastVirt)
+	s.lastWall, s.lastVirt = wall, virt
+	s.ticks++
+	secs := dur.Seconds()
+
+	for _, nc := range cs {
+		ser := s.counters[nc.name]
+		if ser == nil {
+			ser = &counterSeries{c: nc.m}
+			s.counters[nc.name] = ser
+		}
+		total := nc.m.Value()
+		delta := total - ser.prev
+		ser.prev = total
+		if first {
+			// The first tick only establishes the baseline: there is no
+			// interval yet for a delta to cover.
+			continue
+		}
+		rate := 0.0
+		if secs > 0 {
+			rate = float64(delta) / secs
+		}
+		ser.ewma = s.opts.Alpha*rate + (1-s.opts.Alpha)*ser.ewma
+		ser.ring.push(s.opts.Windows, CounterPoint{
+			Wall: wall, Virt: virt, Dur: dur, VirtDur: virtDur,
+			Delta: delta, Total: total, Rate: rate, EWMA: ser.ewma,
+		})
+	}
+	for _, ng := range gs {
+		ser := s.gauges[ng.name]
+		if ser == nil {
+			ser = &gaugeSeries{g: ng.m}
+			s.gauges[ng.name] = ser
+		}
+		ser.ring.push(s.opts.Windows, GaugePoint{Wall: wall, Virt: virt, Value: ng.m.Value()})
+	}
+	for _, nh := range hs {
+		ser := s.hists[nh.name]
+		if ser == nil {
+			ser = &histSeries{h: nh.m, prevBucket: make([]int64, len(nh.m.buckets))}
+			s.hists[nh.name] = ser
+		}
+		count := nh.m.count.Load()
+		sum := math.Float64frombits(nh.m.sum.Load())
+		dCount := count - ser.prevCount
+		dSum := sum - ser.prevSum
+		deltas := make([]int64, len(nh.m.buckets))
+		for i := range nh.m.buckets {
+			cur := nh.m.buckets[i].Load()
+			deltas[i] = cur - ser.prevBucket[i]
+			ser.prevBucket[i] = cur
+		}
+		ser.prevCount, ser.prevSum = count, sum
+		if first {
+			continue
+		}
+		pt := HistogramPoint{
+			Wall: wall, Virt: virt, Dur: dur, VirtDur: virtDur,
+			Count: dCount, Sum: dSum,
+		}
+		if dCount > 0 {
+			pt.Mean = dSum / float64(dCount)
+			min := math.Float64frombits(nh.m.min.Load())
+			max := math.Float64frombits(nh.m.max.Load())
+			pt.P50 = bucketQuantile(nh.m.bounds, deltas, dCount, min, max, 50)
+			pt.P90 = bucketQuantile(nh.m.bounds, deltas, dCount, min, max, 90)
+			pt.P99 = bucketQuantile(nh.m.bounds, deltas, dCount, min, max, 99)
+		}
+		if secs > 0 {
+			pt.Rate = float64(dCount) / secs
+		}
+		ser.ewma = s.opts.Alpha*pt.Rate + (1-s.opts.Alpha)*ser.ewma
+		pt.EWMA = ser.ewma
+		ser.ring.push(s.opts.Windows, pt)
+	}
+
+	gcPause := time.Duration(ms.PauseTotalNs)
+	rp := RuntimePoint{
+		Wall: wall, Virt: virt,
+		HeapAlloc: ms.HeapAlloc, HeapObjects: ms.HeapObjects,
+		Goroutines: goroutines, NumGC: ms.NumGC,
+		GCPauseTotal: gcPause, GCPauseDelta: gcPause - s.prevGC,
+	}
+	if first {
+		rp.GCPauseDelta = 0
+	}
+	s.prevGC = gcPause
+	s.runtime.push(s.opts.Windows, rp)
+}
+
+// SeriesSnapshot is the exportable view of every windowed series, oldest
+// point first.
+type SeriesSnapshot struct {
+	TakenAt    time.Time                   `json:"taken_at"`
+	Interval   time.Duration               `json:"interval_ns"`
+	Ticks      int64                       `json:"ticks"`
+	Counters   map[string][]CounterPoint   `json:"counters"`
+	Gauges     map[string][]GaugePoint     `json:"gauges"`
+	Histograms map[string][]HistogramPoint `json:"histograms"`
+	Runtime    []RuntimePoint              `json:"runtime"`
+}
+
+// Series returns a copy of every retained window. A nil sampler yields an
+// empty (but non-nil) snapshot.
+func (s *Sampler) Series() *SeriesSnapshot {
+	out := &SeriesSnapshot{
+		TakenAt:    time.Now(),
+		Counters:   map[string][]CounterPoint{},
+		Gauges:     map[string][]GaugePoint{},
+		Histograms: map[string][]HistogramPoint{},
+	}
+	if s == nil {
+		return out
+	}
+	out.Interval = s.opts.Interval
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out.Ticks = s.ticks
+	for n, ser := range s.counters {
+		if pts := ser.ring.ordered(); len(pts) > 0 {
+			out.Counters[n] = pts
+		}
+	}
+	for n, ser := range s.gauges {
+		if pts := ser.ring.ordered(); len(pts) > 0 {
+			out.Gauges[n] = pts
+		}
+	}
+	for n, ser := range s.hists {
+		if pts := ser.ring.ordered(); len(pts) > 0 {
+			out.Histograms[n] = pts
+		}
+	}
+	out.Runtime = s.runtime.ordered()
+	return out
+}
+
+// WriteJSON writes the series snapshot as indented JSON.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Series())
+}

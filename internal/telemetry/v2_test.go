@@ -1,0 +1,474 @@
+package telemetry
+
+// v2_test.go covers the time-series layer: labeled vecs, the windowed
+// sampler, the flight recorder, histogram bucket quantiles after ring wrap,
+// and the HTTP handler's full route surface (including its error paths).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVecChildrenRegisterIntoRegistry(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("hits", "switch")
+	if r.CounterVec("hits", "switch") != cv {
+		t.Fatal("second vec lookup returned a different family")
+	}
+	c := cv.With("sw1")
+	if cv.With("sw1") != c {
+		t.Fatal("second With returned a different child")
+	}
+	c.Add(3)
+	// The child is an ordinary registry metric under its canonical name.
+	if got := r.Counter(ChildName("hits", "switch", "sw1")); got != c {
+		t.Fatal("child not shared with the plain-name lookup")
+	}
+	if got := cv.Labels(); len(got) != 1 || got[0] != "sw1" {
+		t.Fatalf("Labels() = %v, want [sw1]", got)
+	}
+
+	gv := r.GaugeVec("occ", "switch")
+	gv.With("sw1").Set(7)
+	hv := r.HistogramVec("rtt", "switch", 10, 100)
+	hv.With("sw1").Observe(42)
+	hv.With("sw2").Observe(5)
+
+	snap := r.Snapshot()
+	if snap.Counters[`hits{switch="sw1"}`] != 3 {
+		t.Fatalf("counter child missing from snapshot: %v", snap.Counters)
+	}
+	if snap.Gauges[`occ{switch="sw1"}`] != 7 {
+		t.Fatalf("gauge child missing from snapshot: %v", snap.Gauges)
+	}
+	if hs, ok := snap.Histograms[`rtt{switch="sw2"}`]; !ok || hs.Count != 1 {
+		t.Fatalf("histogram child missing from snapshot: %v", snap.Histograms)
+	}
+}
+
+func TestVecNilSafety(t *testing.T) {
+	var r *Registry
+	cv := r.CounterVec("c", "k")
+	gv := r.GaugeVec("g", "k")
+	hv := r.HistogramVec("h", "k")
+	if cv != nil || gv != nil || hv != nil {
+		t.Fatal("nil registry must hand out nil vecs")
+	}
+	// Nil vecs hand out nil (no-op) children; none of this may panic.
+	cv.With("x").Add(1)
+	gv.With("x").Set(2)
+	hv.With("x").Observe(3)
+	if cv.Labels() != nil || gv.Labels() != nil || hv.Labels() != nil {
+		t.Fatal("nil vec Labels() must be nil")
+	}
+}
+
+func TestVecWithHitPathDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("c", "switch")
+	hv := r.HistogramVec("h", "switch")
+	cv.With("sw1")
+	hv.With("sw1")
+	if n := testing.AllocsPerRun(200, func() {
+		cv.With("sw1").Add(1)
+		hv.With("sw1").Observe(1)
+	}); n != 0 {
+		t.Fatalf("labeled record path allocates %v objects/op, want 0", n)
+	}
+}
+
+func TestVecConcurrentWith(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("c", "switch")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				cv.With(fmt.Sprintf("sw%d", i%10)).Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(cv.Labels()); got != 10 {
+		t.Fatalf("labels = %d, want 10", got)
+	}
+	var total int64
+	for _, l := range cv.Labels() {
+		total += cv.With(l).Value()
+	}
+	if total != 8*200 {
+		t.Fatalf("total = %d, want %d", total, 8*200)
+	}
+}
+
+func TestBucketQuantileAfterRingWrap(t *testing.T) {
+	r := NewRegistry()
+	// Uniform 0..9999 over 2000 observations wraps the 1024-slot ring, so
+	// the snapshot must fall back to bucket interpolation.
+	h := r.Histogram("wrap", 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i * 10000 / n))
+	}
+	s := h.Snapshot()
+	if s.Count != n {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Exact percentiles are 5000/9000/9900; bucket interpolation must land
+	// within one bucket width (1000).
+	for _, tc := range []struct {
+		got, want float64
+	}{{s.P50, 5000}, {s.P90, 9000}, {s.P99, 9900}} {
+		if diff := tc.got - tc.want; diff < -1000 || diff > 1000 {
+			t.Fatalf("quantile = %v, want %v ±1000 (snapshot %+v)", tc.got, tc.want, s)
+		}
+	}
+	// Quantiles stay clamped to the observed range even at the extremes.
+	if s.P99 > s.Max || s.P50 < s.Min {
+		t.Fatalf("quantiles escaped [min,max]: %+v", s)
+	}
+}
+
+func TestSamplerWindows(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	h := r.Histogram("lat", 10, 100, 1000)
+	virt := time.Unix(0, 0)
+	s := NewSampler(r, SamplerOptions{
+		Interval: time.Second,
+		Windows:  4,
+		VirtNow:  func() time.Time { return virt },
+	})
+
+	s.Tick() // baseline: records prev state, no windows yet
+	c.Add(10)
+	h.Observe(50)
+	h.Observe(500)
+	virt = virt.Add(time.Second)
+	s.Tick()
+
+	ss := s.Series()
+	if ss.Ticks != 2 {
+		t.Fatalf("ticks = %d, want 2", ss.Ticks)
+	}
+	cp := ss.Counters["ops"]
+	if len(cp) != 1 || cp[0].Delta != 10 || cp[0].Total != 10 {
+		t.Fatalf("counter windows = %+v", cp)
+	}
+	if cp[0].Rate <= 0 || cp[0].EWMA <= 0 {
+		t.Fatalf("rate/ewma not positive: %+v", cp[0])
+	}
+	if !cp[0].Virt.Equal(virt) {
+		t.Fatalf("virtual stamp = %v, want %v", cp[0].Virt, virt)
+	}
+	hp := ss.Histograms["lat"]
+	if len(hp) != 1 || hp[0].Count != 2 {
+		t.Fatalf("histogram windows = %+v", hp)
+	}
+	if hp[0].Mean != 275 {
+		t.Fatalf("window mean = %v, want 275", hp[0].Mean)
+	}
+	if hp[0].P50 < 10 || hp[0].P50 > 1000 {
+		t.Fatalf("window p50 = %v out of bucket range", hp[0].P50)
+	}
+	if len(ss.Runtime) != 2 {
+		t.Fatalf("runtime samples = %d, want 2", len(ss.Runtime))
+	}
+	if ss.Runtime[1].HeapAlloc == 0 || ss.Runtime[1].Goroutines == 0 {
+		t.Fatalf("runtime sample empty: %+v", ss.Runtime[1])
+	}
+
+	// Windows ring: 5 more ticks with the 4-window bound retains 4.
+	for i := 0; i < 5; i++ {
+		c.Add(1)
+		virt = virt.Add(time.Second)
+		s.Tick()
+	}
+	if got := len(s.Series().Counters["ops"]); got != 4 {
+		t.Fatalf("retained windows = %d, want 4", got)
+	}
+}
+
+func TestSamplerEWMAConverges(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	s := NewSampler(r, SamplerOptions{Interval: time.Second, Alpha: 0.5})
+	s.Tick()
+	for i := 0; i < 12; i++ {
+		c.Add(100)
+		s.Tick()
+	}
+	pts := s.Series().Counters["ops"]
+	last := pts[len(pts)-1]
+	// Steady input: EWMA approaches the raw rate. Wall-clock ticks are
+	// near-instant so rates are huge; compare the two against each other.
+	if last.EWMA < last.Rate*0.5 || last.EWMA > last.Rate*2.0 {
+		t.Fatalf("ewma %v not near rate %v after steady input", last.EWMA, last.Rate)
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	r := NewRegistry()
+	s := NewSampler(r, SamplerOptions{Interval: time.Millisecond})
+	s.Start()
+	s.Start() // idempotent
+	deadline := time.After(2 * time.Second)
+	for {
+		if s.Series().Ticks >= 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("sampler loop never ticked")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	// Nil sampler: everything is a no-op.
+	var ns *Sampler
+	ns.Start()
+	ns.Tick()
+	ns.Stop()
+	if got := ns.Series(); got == nil || got.Ticks != 0 {
+		t.Fatalf("nil sampler series = %+v", got)
+	}
+	var buf bytes.Buffer
+	if err := ns.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil sampler WriteJSON: %v", err)
+	}
+}
+
+func TestFlightRecorder(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	tr := fr.Track("sw1")
+	if fr.Track("sw1") != tr {
+		t.Fatal("second Track returned a different ring")
+	}
+	base := time.Unix(100, 0)
+	for i := 0; i < 6; i++ {
+		tr.Record(base.Add(time.Duration(i)*time.Second), base, time.Duration(i)*time.Millisecond, uint32(i), i%2 == 0)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4 (capacity)", tr.Len())
+	}
+	got := tr.Samples()
+	if len(got) != 4 {
+		t.Fatalf("samples = %d, want 4", len(got))
+	}
+	// Oldest retained is seq 3 (two dropped), newest seq 6.
+	if got[0].Seq != 3 || got[3].Seq != 6 {
+		t.Fatalf("seq range = [%d,%d], want [3,6]", got[0].Seq, got[3].Seq)
+	}
+	if got[3].RTT != 5*time.Millisecond || got[3].FlowID != 5 {
+		t.Fatalf("newest sample = %+v", got[3])
+	}
+
+	fr.Track("sw0").Record(base, base, time.Millisecond, 9, false)
+	if names := fr.Tracks(); len(names) != 2 || names[0] != "sw0" || names[1] != "sw1" {
+		t.Fatalf("tracks = %v", names)
+	}
+
+	var buf bytes.Buffer
+	if err := fr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var lines []FlightSample
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var s FlightSample
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, s)
+	}
+	if len(lines) != 5 {
+		t.Fatalf("JSONL lines = %d, want 5", len(lines))
+	}
+	// Sorted by track name, oldest first within a track, switch filled in.
+	if lines[0].Switch != "sw0" || lines[1].Switch != "sw1" || lines[1].Seq != 3 {
+		t.Fatalf("JSONL order wrong: %+v", lines[:2])
+	}
+}
+
+func TestFlightNilSafety(t *testing.T) {
+	var fr *FlightRecorder
+	tr := fr.Track("x")
+	if tr != nil {
+		t.Fatal("nil recorder must hand out nil tracks")
+	}
+	tr.Record(time.Time{}, time.Time{}, 0, 0, false)
+	if tr.Samples() != nil || tr.Len() != 0 {
+		t.Fatal("nil track must read as empty")
+	}
+	if fr.Tracks() != nil {
+		t.Fatal("nil recorder Tracks() must be nil")
+	}
+	var buf bytes.Buffer
+	if err := fr.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil recorder WriteJSONL wrote %q, err %v", buf.String(), err)
+	}
+}
+
+func TestFlightDefault(t *testing.T) {
+	old := DefaultFlight()
+	defer SetDefaultFlight(old)
+	SetDefaultFlight(nil)
+	if DefaultFlight() != nil {
+		t.Fatal("cleared default flight recorder must be nil")
+	}
+	fr := NewFlightRecorder(0)
+	SetDefaultFlight(fr)
+	if DefaultFlight() != fr {
+		t.Fatal("default flight recorder not installed")
+	}
+}
+
+func TestHandlerRoutes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(1)
+	tr := NewTracer(nil)
+	s := NewSampler(r, SamplerOptions{})
+	s.Tick()
+	fr := NewFlightRecorder(8)
+	fr.Track("sw1").Record(time.Now(), time.Now(), time.Millisecond, 1, false)
+	h := HandlerFor(HandlerOptions{Registry: r, Tracer: tr, Sampler: s, Flight: fr})
+
+	for _, tc := range []struct {
+		path string
+		want string
+	}{
+		{"/metrics", `"c": 1`},
+		{"/metrics/series", `"ticks"`},
+		{"/trace", "traceEvents"},
+		{"/flight", `"switch":"sw1"`},
+		{"/", "/metrics/series"},
+		{"/debug/pprof/cmdline", ""},
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", tc.path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s = %d", tc.path, rec.Code)
+		}
+		if tc.want != "" && !strings.Contains(rec.Body.String(), tc.want) {
+			t.Fatalf("GET %s body %q missing %q", tc.path, rec.Body.String(), tc.want)
+		}
+	}
+}
+
+func TestHandlerErrorPaths(t *testing.T) {
+	// Unknown routes 404 instead of falling through to the index.
+	h := HandlerFor(HandlerOptions{})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != 404 {
+		t.Fatalf("GET /nope = %d, want 404", rec.Code)
+	}
+
+	// Every collaborator nil: all routes still serve well-formed (empty)
+	// documents rather than panicking.
+	for _, path := range []string{"/metrics", "/metrics/series", "/trace", "/flight", "/"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s with nil options = %d", path, rec.Code)
+		}
+	}
+
+	// DisablePprof removes the profile routes.
+	noPprof := HandlerFor(HandlerOptions{DisablePprof: true})
+	rec = httptest.NewRecorder()
+	noPprof.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != 404 {
+		t.Fatalf("GET /debug/pprof/cmdline with DisablePprof = %d, want 404", rec.Code)
+	}
+
+	// Partial wiring: tracer-only and registry-only combinations.
+	rec = httptest.NewRecorder()
+	HandlerFor(HandlerOptions{Tracer: NewTracer(nil)}).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("tracer-only /metrics = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	HandlerFor(HandlerOptions{Registry: NewRegistry()}).ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("registry-only /trace = %d", rec.Code)
+	}
+}
+
+func TestHandlerSnapshotDuringRecord(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("c", "switch")
+	h := Handler(r, nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Keep creating fresh children so snapshots race real registry
+			// mutations, not just atomic adds.
+			cv.With(fmt.Sprintf("sw%d", i%50)).Add(1)
+			r.Histogram("lat").Observe(float64(i))
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 {
+			t.Fatalf("snapshot during record = %d", rec.Code)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+			t.Fatalf("snapshot not valid JSON under concurrent recording: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestCLIHelpers(t *testing.T) {
+	var c CLI
+	if c.Enabled() {
+		t.Fatal("zero CLI must be disabled")
+	}
+	if got := c.OutputPaths(); got != nil {
+		t.Fatalf("zero CLI OutputPaths = %v", got)
+	}
+	flush, err := c.Setup()
+	if err != nil || flush == nil {
+		t.Fatalf("disabled Setup: flush nil=%v, err=%v", flush == nil, err)
+	}
+	if err := flush(); err != nil {
+		t.Fatalf("disabled flush: %v", err)
+	}
+
+	c = CLI{MetricsOut: "m.json", FlightOut: "f.jsonl"}
+	if !c.Enabled() {
+		t.Fatal("CLI with outputs must be enabled")
+	}
+	paths := c.OutputPaths()
+	if len(paths) != 2 || paths[0][0] != "-metrics-out" || paths[1][1] != "f.jsonl" {
+		t.Fatalf("OutputPaths = %v", paths)
+	}
+
+	// A bad -telemetry address fails fast at Setup, not at first scrape.
+	bad := CLI{Addr: "256.256.256.256:0"}
+	if _, err := bad.Setup(); err == nil {
+		t.Fatal("Setup with unroutable address must fail")
+	}
+}
