@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"tango/internal/conformance"
 	"tango/internal/core/sched"
 	"tango/internal/experiments"
 	"tango/internal/telemetry"
@@ -202,6 +203,37 @@ func BenchmarkFigure11(b *testing.B) {
 		enfWin = 100 * (1 - enf/dio)
 	}
 	b.ReportMetric(enfWin, "addonly-enforce-improv-%")
+}
+
+// BenchmarkAdversarial runs the adversarial/churn scenario catalog
+// (conformance/scenarios.go) end to end and reports its gate metrics: every
+// pinned verdict must hold (gate-fails == 0), the overflow detector must
+// fire on the attack trace (attack-alarms >= 1) and stay silent on the
+// clean Zipf replay (clean-alarms == 0), and the worst size estimate across
+// the adversarial scenarios regress-gates throughput-with-interference.
+func BenchmarkAdversarial(b *testing.B) {
+	var fails, attackAlarms, cleanAlarms, worstErr float64
+	for i := 0; i < b.N; i++ {
+		fails, attackAlarms, cleanAlarms, worstErr = 0, 0, 0, 0
+		for _, r := range conformance.RunScenarios() {
+			if !r.Pass {
+				fails++
+			}
+			switch r.Scenario.Name {
+			case "overflow-attack-timing":
+				attackAlarms = float64(r.Alarms)
+			case "overflow-clean-zipf":
+				cleanAlarms = float64(r.Alarms)
+			}
+			if r.SizeError > worstErr {
+				worstErr = r.SizeError
+			}
+		}
+	}
+	b.ReportMetric(fails, "gate-fails")
+	b.ReportMetric(attackAlarms, "attack-alarms")
+	b.ReportMetric(cleanAlarms, "clean-alarms")
+	b.ReportMetric(100*worstErr, "worst-adv-err-%")
 }
 
 // schedWorkloadDims sizes BenchmarkSchedRun: a deep DAG (the Figure 11

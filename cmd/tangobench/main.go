@@ -79,6 +79,9 @@ func catalog(faultSpec string) []experiment {
 		{"f12", "Figure 12: B4 TE on OVS", func(int) []fmt.Stringer {
 			return []fmt.Stringer{experiments.Figure12(0)}
 		}},
+		{"overflow", "Overflow-inference attack scenarios (timing channel + detector)", tab(experiments.Overflow)},
+		{"churn", "Heavy-churn scenarios (inference under timeout expiry)", tab(experiments.ChurnScenarios)},
+		{"altpolicy", "Non-LEX cache policies (classify-or-reject)", tab(experiments.AltPolicy)},
 		{"conformance", "Ground-truth inference conformance harness (honours -faults)", func(int) []fmt.Stringer {
 			t, err := experiments.Conformance(24, 1, faultSpec)
 			if err != nil {

@@ -1,0 +1,306 @@
+package conformance
+
+import (
+	"time"
+
+	"tango/internal/core/probe"
+	"tango/internal/flowtable"
+	"tango/internal/openflow"
+	"tango/internal/packet"
+	"tango/internal/workload"
+)
+
+// background.go interleaves adversarial or churn traffic with whatever
+// engine is driving a device. A Background is stepped synchronously at the
+// entry of every wrapped device operation — on the device's own (virtual)
+// clock, before the foreground op runs — so schedules replay
+// deterministically: the interleaving is a pure function of the foreground
+// op sequence and the schedule, with no wall-clock goroutine races.
+
+// Background is a traffic source running concurrently with the foreground
+// engine. Step is called with the *unwrapped* device before each foreground
+// operation; implementations apply whatever schedule entries are due and
+// return. Step must not retain dev.
+type Background interface {
+	Step(dev probe.Device)
+}
+
+// WrapBackground returns a device that steps bg before every foreground
+// operation. A nil bg returns dev unchanged. The wrapper forwards the
+// optional TrafficSender, FrameDevice, Sleeper, Resetter, and LabeledDevice
+// capabilities so the probe engine resolves the exact same fast paths as on
+// the bare device — that equivalence is what the no-observer-effect
+// differential test pins down.
+func WrapBackground(dev probe.Device, bg Background) probe.Device {
+	if bg == nil {
+		return dev
+	}
+	b := &backgroundDevice{dev: dev, bg: bg}
+	if f, ok := dev.(probe.FrameDevice); ok {
+		return &backgroundFrameDevice{backgroundDevice: b, frames: f}
+	}
+	return b
+}
+
+// backgroundDevice steps the background source before each operation.
+type backgroundDevice struct {
+	dev probe.Device
+	bg  Background
+}
+
+func (d *backgroundDevice) step() { d.bg.Step(d.dev) }
+
+// FlowMod implements probe.Device.
+func (d *backgroundDevice) FlowMod(fm *openflow.FlowMod) error {
+	d.step()
+	return d.dev.FlowMod(fm)
+}
+
+// SendProbe implements probe.Device.
+func (d *backgroundDevice) SendProbe(data []byte, inPort uint16) (time.Duration, bool, error) {
+	d.step()
+	return d.dev.SendProbe(data, inPort)
+}
+
+// Now implements probe.Device. Reading the clock is not a foreground
+// operation and does not advance the schedule.
+func (d *backgroundDevice) Now() time.Time { return d.dev.Now() }
+
+// SendTraffic implements probe.TrafficSender, delegating when the inner
+// device can burst natively and degrading to per-packet sends otherwise —
+// the same fallback the engine itself would apply.
+func (d *backgroundDevice) SendTraffic(data []byte, inPort uint16, count int) error {
+	d.step()
+	if ts, ok := d.dev.(probe.TrafficSender); ok {
+		return ts.SendTraffic(data, inPort, count)
+	}
+	for i := 0; i < count; i++ {
+		if _, _, err := d.dev.SendProbe(data, inPort); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sleep delegates to the inner device's clock when it has one.
+func (d *backgroundDevice) Sleep(dur time.Duration) {
+	if s, ok := d.dev.(interface{ Sleep(time.Duration) }); ok {
+		s.Sleep(dur)
+	}
+}
+
+// Reset delegates to the inner device when it supports resets.
+func (d *backgroundDevice) Reset() {
+	if r, ok := d.dev.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+}
+
+// TelemetryLabel forwards the inner device's label.
+func (d *backgroundDevice) TelemetryLabel() string {
+	if l, ok := d.dev.(probe.LabeledDevice); ok {
+		return l.TelemetryLabel()
+	}
+	return ""
+}
+
+// backgroundFrameDevice adds the FrameDevice fast path when the inner
+// device has it, so wrapping never changes which send path the engine
+// resolves.
+type backgroundFrameDevice struct {
+	*backgroundDevice
+	frames probe.FrameDevice
+}
+
+// SendFrameN implements probe.FrameDevice.
+func (d *backgroundFrameDevice) SendFrameN(f *packet.Frame, inPort uint16, size, n int) (time.Duration, bool, error) {
+	d.step()
+	return d.frames.SendFrameN(f, inPort, size, n)
+}
+
+// frameFor builds (and memoizes) the probe frame for a flow ID.
+func frameFor(cache *map[uint32][]byte, id uint32) []byte {
+	if *cache == nil {
+		*cache = make(map[uint32][]byte)
+	}
+	if b, ok := (*cache)[id]; ok {
+		return b
+	}
+	b, err := packet.BuildProbe(packet.ProbeSpec{FlowID: id})
+	if err != nil {
+		return nil
+	}
+	(*cache)[id] = b
+	return b
+}
+
+// ChurnDriver replays a workload.Churn schedule against the device: events
+// whose offset has passed on the device clock are applied, in order, at the
+// entry of each foreground operation. Installs carry the schedule's idle
+// and hard timeouts, driving the switch's lazy expiry sweep while the
+// foreground runs.
+type ChurnDriver struct {
+	// Priority is the rule priority for churn installs (default 10 — below
+	// every probing priority, so churn rules never shadow probe flows).
+	Priority uint16
+
+	events  []workload.ChurnEvent
+	started bool
+	start   time.Time
+	next    int
+	frames  map[uint32][]byte
+
+	installs, touches, errs int
+}
+
+// NewChurnDriver wraps a schedule; an empty schedule (rate 0) returns nil,
+// which WrapBackground treats as no background at all.
+func NewChurnDriver(events []workload.ChurnEvent) *ChurnDriver {
+	if len(events) == 0 {
+		return nil
+	}
+	return &ChurnDriver{events: events}
+}
+
+// Step implements Background.
+func (c *ChurnDriver) Step(dev probe.Device) {
+	if !c.started {
+		c.started, c.start = true, dev.Now()
+	}
+	elapsed := dev.Now().Sub(c.start)
+	for c.next < len(c.events) && c.events[c.next].At <= elapsed {
+		c.apply(dev, c.events[c.next])
+		c.next++
+	}
+}
+
+func (c *ChurnDriver) apply(dev probe.Device, ev workload.ChurnEvent) {
+	switch ev.Kind {
+	case workload.ChurnInstall:
+		prio := c.Priority
+		if prio == 0 {
+			prio = 10
+		}
+		fm := &openflow.FlowMod{
+			Command:     openflow.FlowAdd,
+			Match:       flowtable.ExactProbeMatch(ev.Flow),
+			Priority:    prio,
+			IdleTimeout: ev.IdleTimeout,
+			HardTimeout: ev.HardTimeout,
+			Actions:     flowtable.Output(2),
+		}
+		if err := dev.FlowMod(fm); err != nil {
+			c.errs++
+			return
+		}
+		c.installs++
+	case workload.ChurnTouch:
+		data := frameFor(&c.frames, ev.Flow)
+		if data == nil {
+			c.errs++
+			return
+		}
+		if _, _, err := dev.SendProbe(data, 1); err != nil {
+			c.errs++
+			return
+		}
+		c.touches++
+	}
+}
+
+// Applied returns how many schedule events have executed (including ones
+// that errored, e.g. installs rejected table-full mid-churn).
+func (c *ChurnDriver) Applied() int { return c.next }
+
+// Installs and Touches report the successfully applied event counts; Errs
+// the events the device rejected.
+func (c *ChurnDriver) Installs() int { return c.installs }
+
+// Touches reports successfully applied data-plane touches.
+func (c *ChurnDriver) Touches() int { return c.touches }
+
+// Errs reports rejected events.
+func (c *ChurnDriver) Errs() int { return c.errs }
+
+// AttackDriver replays a workload.OverflowAttack schedule as background
+// noise: every Every-th foreground operation applies a burst of attack ops.
+// Unlike the attacker-in-the-foreground scenario (which interprets canary
+// timings), the driver just executes the schedule — it models a concurrent
+// tenant running the attack while Tango infers.
+type AttackDriver struct {
+	// Ops is the attack schedule.
+	Ops []workload.AttackOp
+	// Every is the number of foreground ops between bursts (default 4).
+	Every int
+	// Burst is the number of attack ops applied per active step (default 4).
+	Burst int
+	// Priority is the attack rules' priority (default 900).
+	Priority uint16
+
+	calls, next int
+	frames      map[uint32][]byte
+
+	installs, probes, errs int
+}
+
+// Step implements Background.
+func (a *AttackDriver) Step(dev probe.Device) {
+	if a.next >= len(a.Ops) {
+		return
+	}
+	a.calls++
+	every := a.Every
+	if every <= 0 {
+		every = 4
+	}
+	if a.calls%every != 0 {
+		return
+	}
+	burst := a.Burst
+	if burst <= 0 {
+		burst = 4
+	}
+	for i := 0; i < burst && a.next < len(a.Ops); i++ {
+		op := a.Ops[a.next]
+		a.next++
+		a.apply(dev, op)
+	}
+}
+
+func (a *AttackDriver) apply(dev probe.Device, op workload.AttackOp) {
+	switch op.Kind {
+	case workload.AttackInstall:
+		prio := a.Priority
+		if prio == 0 {
+			prio = 900
+		}
+		fm := &openflow.FlowMod{
+			Command:  openflow.FlowAdd,
+			Match:    flowtable.ExactProbeMatch(op.Flow),
+			Priority: prio,
+			Actions:  flowtable.Output(2),
+		}
+		if err := dev.FlowMod(fm); err != nil {
+			a.errs++
+			return
+		}
+		a.installs++
+	case workload.AttackProbe:
+		data := frameFor(&a.frames, op.Flow)
+		if data == nil {
+			a.errs++
+			return
+		}
+		if _, _, err := dev.SendProbe(data, 1); err != nil {
+			a.errs++
+			return
+		}
+		a.probes++
+	}
+}
+
+// Applied returns how many attack ops have executed.
+func (a *AttackDriver) Applied() int { return a.next }
+
+// Errs reports rejected attack ops (e.g. installs bounced table-full).
+func (a *AttackDriver) Errs() int { return a.errs }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -247,11 +248,57 @@ func RunSpec(spec Spec, opts Options) Result {
 	return res
 }
 
+// ErrSpecPanic is the sentinel wrapped by SpecPanicError; match it with
+// errors.Is.
+var ErrSpecPanic = errors.New("conformance: spec panicked")
+
+// SpecPanicError is the typed failure Run records when a spec's pipeline
+// panics. A panicking spec used to kill the whole worker pool (taking the
+// other in-flight specs' results with it); now it fails only its own row,
+// preserving the harness's converge-or-typed-error contract.
+type SpecPanicError struct {
+	// Spec is the spec whose pipeline panicked.
+	Spec Spec
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+// Error implements error.
+func (e *SpecPanicError) Error() string {
+	return fmt.Sprintf("%v: %s: %v", ErrSpecPanic, e.Spec.Name, e.Value)
+}
+
+// Unwrap lets errors.Is(err, ErrSpecPanic) match.
+func (e *SpecPanicError) Unwrap() error { return ErrSpecPanic }
+
+// runSpec indirects RunSpec so the panic-containment regression test can
+// substitute an implementation that panics on cue.
+var runSpec = RunSpec
+
+// runSpecSafe converts a panicking spec into a Result carrying a typed
+// SpecPanicError. FaultTyped stays false: a panic is an organic bug in the
+// pipeline, not a fault-path outcome.
+func runSpecSafe(spec Spec, opts Options) (res Result) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = Result{Spec: spec, Err: &SpecPanicError{
+				Spec:  spec,
+				Value: v,
+				Stack: string(debug.Stack()),
+			}}
+		}
+	}()
+	return runSpec(spec, opts)
+}
+
 // Run executes every spec, fanning out across Options.Workers goroutines.
 // Each spec owns its switches, virtual clock, RNGs, and fault injector
 // (RunSpec builds a fresh injector per spec), so concurrent recovery is
 // bit-for-bit identical to the sequential order; results come back indexed
-// by spec position regardless of completion order.
+// by spec position regardless of completion order. A spec whose pipeline
+// panics surfaces as a SpecPanicError result instead of crashing the pool.
 func Run(specs []Spec, opts Options) []Result {
 	out := make([]Result, len(specs))
 	workers := opts.workers()
@@ -260,7 +307,7 @@ func Run(specs []Spec, opts Options) []Result {
 	}
 	if workers <= 1 {
 		for i, s := range specs {
-			out[i] = RunSpec(s, opts)
+			out[i] = runSpecSafe(s, opts)
 		}
 		return out
 	}
@@ -271,7 +318,7 @@ func Run(specs []Spec, opts Options) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i] = RunSpec(specs[i], opts)
+				out[i] = runSpecSafe(specs[i], opts)
 			}
 		}()
 	}

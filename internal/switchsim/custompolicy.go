@@ -1,0 +1,231 @@
+package switchsim
+
+import "tango/internal/flowtable"
+
+// custompolicy.go adds cache-management policies that fall outside the
+// paper's LEX model: their keep/evict decision is not a lexicographic
+// composite of per-flow attributes, so Tango's Algorithm 2 cannot express
+// them and the inference engine must reject them with a typed error (or, for
+// policies whose observable behaviour happens to coincide with a LEX
+// composite, classify them as that composite). Two families are modelled:
+//
+//   - destination-based rule aggregation (arXiv 1909.03059): flows sharing a
+//     destination /28 are scored as a group by the group's cumulative
+//     traffic, so one elephant flow shields its whole aggregate;
+//   - FDRC-style flow-driven caching (arXiv 1803.04270): per-flow activity
+//     is counted in coarse epochs and a flow's score is its current plus
+//     previous epoch count, so idle flows decay to zero in two epochs
+//     regardless of lifetime totals.
+//
+// Both need per-switch mutable scoring state, which Policy.Better — a pure
+// function of two entries — cannot carry. A CustomPolicy therefore supplies
+// a state constructor; the switch instantiates the state in initIndexes and
+// routes every comparison, touch, and removal through it. Group-aggregate
+// and epoch scores shift for many entries at once on a single touch, which
+// would invalidate per-entry heap fixups, so custom policies deliberately
+// run without the eviction/promotion indexes and use the retained naive
+// scans instead.
+
+// customState is a custom policy's per-switch scoring state. The switch
+// calls better under its lock wherever it would consult the compiled LEX
+// comparator, and the hook methods on every attribute-changing event.
+type customState interface {
+	// better reports whether a should be kept over b; it must be a total
+	// order (tie-break on insertSeq like Policy.Better).
+	better(a, b *entry) bool
+	// onTouch accounts n data-plane packets on e (called after e.traffic
+	// has been advanced).
+	onTouch(e *entry, n uint64)
+	// onRemove forgets e (rule deleted or expired).
+	onRemove(e *entry)
+}
+
+// CustomPolicy is a cache-management policy outside the LEX model. Construct
+// one with PolicyDestAggregate or PolicyFDRC and place it in
+// Policy.Custom; the embedded state constructor keeps per-switch scoring
+// private to each Switch instance.
+type CustomPolicy struct {
+	// Name identifies the policy in Policy.String output.
+	Name string
+	// newState builds fresh scoring state; called from initIndexes (so
+	// Reset starts clean).
+	newState func() customState
+}
+
+// PolicyDestAggregate returns a destination-based rule-aggregation policy:
+// entries whose destination addresses share a /28 form a group, a group's
+// score is its cumulative matched-packet count, and eviction removes a
+// member of the lowest-scoring group (oldest member first). Rules without
+// an exact IPv4 destination share one residual group.
+func PolicyDestAggregate() Policy {
+	return Policy{Custom: &CustomPolicy{
+		Name: "dest-aggregate(/28)",
+		newState: func() customState {
+			return &destAggState{
+				group: make(map[*entry]uint32),
+				score: make(map[uint32]uint64),
+			}
+		},
+	}}
+}
+
+// destAggState scores entries by their destination /28 group's cumulative
+// traffic.
+type destAggState struct {
+	group map[*entry]uint32 // memoized group key per live entry
+	score map[uint32]uint64 // cumulative traffic per group
+}
+
+// residualGroup collects rules whose match has no exact IPv4 destination.
+const residualGroup = ^uint32(0)
+
+func (st *destAggState) key(e *entry) uint32 {
+	if g, ok := st.group[e]; ok {
+		return g
+	}
+	g := residualGroup
+	if k, ok := flowtable.ExactKey(&e.rule.Match); ok {
+		g = uint32(k) >> 4 // low word is the destination; aggregate at /28
+	}
+	st.group[e] = g
+	return g
+}
+
+func (st *destAggState) better(a, b *entry) bool {
+	sa, sb := st.score[st.key(a)], st.score[st.key(b)]
+	if sa != sb {
+		return sa > sb
+	}
+	return a.insertSeq < b.insertSeq
+}
+
+func (st *destAggState) onTouch(e *entry, n uint64) {
+	st.score[st.key(e)] += n
+}
+
+func (st *destAggState) onRemove(e *entry) {
+	g, ok := st.group[e]
+	if !ok {
+		return
+	}
+	// The entry's own lifetime traffic leaves with it.
+	if s := st.score[g]; s > e.traffic {
+		st.score[g] = s - e.traffic
+	} else {
+		delete(st.score, g)
+	}
+	delete(st.group, e)
+}
+
+// PolicyFDRC returns a flow-driven rule-caching policy: switch-wide
+// data-plane events are divided into epochs of the given window size
+// (packets per epoch; 0 selects 4096), each entry counts its packets in the
+// current epoch, and its score is current + previous epoch counts. Flows
+// idle for two epochs score zero however much they carried before, which is
+// what distinguishes FDRC's sliding recency-weighted frequency from plain
+// LFU's lifetime totals.
+func PolicyFDRC(window uint64) Policy {
+	if window == 0 {
+		window = 4096
+	}
+	return Policy{Custom: &CustomPolicy{
+		Name: "fdrc(window=" + itoa(window) + ")",
+		newState: func() customState {
+			return &fdrcState{window: window, cells: make(map[*entry]fdrcCell)}
+		},
+	}}
+}
+
+// itoa formats a uint64 without importing strconv into the hot-path file.
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// fdrcCell is one entry's epoch-local activity counters.
+type fdrcCell struct {
+	epoch     uint64 // epoch cur was accumulated in
+	cur, prev uint64
+}
+
+// fdrcState scores entries by current-plus-previous-epoch packet counts.
+type fdrcState struct {
+	window uint64
+	events uint64 // switch-wide data-plane packets seen
+	cells  map[*entry]fdrcCell
+}
+
+func (st *fdrcState) epochNow() uint64 { return st.events / st.window }
+
+// scoreOf reads e's score at the current epoch without mutating the cell:
+// rotation is applied as a view, so comparisons during eviction scans are
+// side-effect free.
+func (st *fdrcState) scoreOf(e *entry) uint64 {
+	c, ok := st.cells[e]
+	if !ok {
+		return 0
+	}
+	switch ep := st.epochNow(); {
+	case c.epoch == ep:
+		return c.cur + c.prev
+	case c.epoch+1 == ep:
+		return c.cur
+	default:
+		return 0
+	}
+}
+
+func (st *fdrcState) better(a, b *entry) bool {
+	sa, sb := st.scoreOf(a), st.scoreOf(b)
+	if sa != sb {
+		return sa > sb
+	}
+	if a.useSeq != b.useSeq {
+		return a.useSeq > b.useSeq
+	}
+	return a.insertSeq < b.insertSeq
+}
+
+func (st *fdrcState) onTouch(e *entry, n uint64) {
+	st.events += n
+	ep := st.epochNow()
+	c := st.cells[e]
+	switch {
+	case c.epoch == ep:
+	case c.epoch+1 == ep:
+		c.prev, c.cur, c.epoch = c.cur, 0, ep
+	default:
+		c.prev, c.cur, c.epoch = 0, 0, ep
+	}
+	c.cur += n
+	st.cells[e] = c
+}
+
+func (st *fdrcState) onRemove(e *entry) {
+	delete(st.cells, e)
+}
+
+// customTouch routes a data-plane touch to the active custom policy state.
+// Callers hold s.mu.
+func (s *Switch) customTouch(e *entry, n uint64) {
+	if s.customState != nil && e != nil {
+		s.customState.onTouch(e, n)
+	}
+}
+
+// customRemove forgets e in the active custom policy state. Callers hold
+// s.mu.
+func (s *Switch) customRemove(e *entry) {
+	if s.customState != nil && e != nil {
+		s.customState.onRemove(e)
+	}
+}

@@ -1,0 +1,116 @@
+package switchsim
+
+import "testing"
+
+// detKey builds a flow key with the given source and destination words —
+// the same src<<32|dst layout flowtable.FrameKey produces.
+func detKey(src, dst uint32) uint64 {
+	return uint64(src)<<32 | uint64(dst)
+}
+
+func TestDetectorAlarmsOnSequentialScan(t *testing.T) {
+	d := NewOverflowDetector(DetectorOptions{})
+	// An overflow attacker's fill phase: every packet a never-seen flow,
+	// destinations in address order, all missing the fast path.
+	for i := uint32(0); i < 256; i++ {
+		d.observe(detKey(7, 1000+i), true, PathControl)
+	}
+	if w := d.Windows(); w != 2 {
+		t.Fatalf("windows = %d, want 2", w)
+	}
+	if a := d.Alarms(); a != 2 {
+		t.Fatalf("alarms = %d, want 2 (every window pure sequential scan)", a)
+	}
+}
+
+func TestDetectorIgnoresShuffledNovelty(t *testing.T) {
+	d := NewOverflowDetector(DetectorOptions{})
+	// Novelty-heavy but address-shuffled traffic (e.g. a flash crowd over a
+	// hashed address space): stride 3 never produces dst adjacency.
+	for i := uint32(0); i < 256; i++ {
+		d.observe(detKey(7, 1000+3*i), true, PathControl)
+	}
+	if a := d.Alarms(); a != 0 {
+		t.Fatalf("alarms = %d on non-sequential novelty, want 0", a)
+	}
+	if w := d.Windows(); w != 2 {
+		t.Fatalf("windows = %d, want 2", w)
+	}
+}
+
+func TestDetectorIgnoresRepeatedTraffic(t *testing.T) {
+	d := NewOverflowDetector(DetectorOptions{})
+	// Steady-state traffic over a tiny working set: almost no novelty.
+	for i := 0; i < 256; i++ {
+		d.observe(detKey(7, uint32(i%4)), true, PathFast)
+	}
+	if a := d.Alarms(); a != 0 {
+		t.Fatalf("alarms = %d on repeated traffic, want 0", a)
+	}
+}
+
+func TestDetectorCountsRevisitDemotions(t *testing.T) {
+	d := NewOverflowDetector(DetectorOptions{})
+	k := detKey(7, 42)
+	d.observe(k, true, PathFast) // canary installed, rides the fast path
+	d.observe(k, true, PathSlow) // canary evicted: revisit comes back slow
+	if r := d.RevisitDemotions(); r != 1 {
+		t.Fatalf("revisit demotions = %d, want 1", r)
+	}
+	// A second slow observation is not a *demotion* — the flow was already
+	// known-slow.
+	d.observe(k, true, PathSlow)
+	if r := d.RevisitDemotions(); r != 1 {
+		t.Fatalf("revisit demotions = %d after slow-slow, want 1", r)
+	}
+	// Promotion back to fast re-arms the signal.
+	d.observe(k, true, PathMid)
+	d.observe(k, true, PathControl)
+	if r := d.RevisitDemotions(); r != 2 {
+		t.Fatalf("revisit demotions = %d after re-arm, want 2", r)
+	}
+}
+
+func TestDetectorNonIPv4FramesNeverNovel(t *testing.T) {
+	d := NewOverflowDetector(DetectorOptions{})
+	// Unparseable frames fill windows but cannot look like a scan.
+	for i := 0; i < 128; i++ {
+		d.observe(0, false, PathControl)
+	}
+	if w, a := d.Windows(), d.Alarms(); w != 1 || a != 0 {
+		t.Fatalf("windows/alarms = %d/%d, want 1/0", w, a)
+	}
+}
+
+func TestDetectorDefaultsAndCustomWindow(t *testing.T) {
+	// The window's first novel flow has no predecessor, so at window 8 a pure
+	// scan yields 7/8 sequential novels — SeqFrac must stay at or below that.
+	d := NewOverflowDetector(DetectorOptions{Window: 8, NovelFrac: 0.9, SeqFrac: 0.8})
+	for i := uint32(0); i < 8; i++ {
+		d.observe(detKey(1, i), true, PathControl)
+	}
+	if a := d.Alarms(); a != 1 {
+		t.Fatalf("alarms = %d with window 8, want 1", a)
+	}
+	if got := (DetectorOptions{}).withDefaults(); got.Window != 128 || got.NovelFrac != 0.5 || got.SeqFrac != 0.5 {
+		t.Fatalf("defaults = %+v", got)
+	}
+}
+
+// TestDetectorOnSwitchObservesBursts pins the switch-side hook: every
+// data-plane send is classified exactly once (a burst counts once, matching
+// its single pipeline decision).
+func TestDetectorOnSwitchObservesBursts(t *testing.T) {
+	d := NewOverflowDetector(DetectorOptions{Window: 8})
+	s := New(TestSwitch(4, PolicyLRU), WithDetector(d))
+	addFlow(t, s, 1, 100)
+	for i := 0; i < 16; i++ {
+		sendProbe(t, s, 1)
+	}
+	if w := d.Windows(); w != 2 {
+		t.Fatalf("windows = %d after 16 sends with window 8, want 2", w)
+	}
+	if a := d.Alarms(); a != 0 {
+		t.Fatalf("alarms = %d on single-flow traffic, want 0", a)
+	}
+}

@@ -130,6 +130,19 @@ func (h *entryHeap) down(i int) bool {
 // indexes. Only policy-cache hierarchies pay for index maintenance; the
 // other kinds never consult a cache policy.
 func (s *Switch) initIndexes() {
+	if c := s.profile.CachePolicy.Custom; c != nil && s.profile.Kind == ManagePolicyCache {
+		// Custom policies (custompolicy.go) score through per-switch state
+		// whose values shift for many entries on a single touch — per-entry
+		// heap fixups cannot track that, so the indexes stay nil and every
+		// victim/refill choice takes the naive scans through s.better.
+		st := c.newState()
+		s.customState = st
+		s.better = st.better
+		s.evictIdx, s.promoteIdx = nil, nil
+		s.dynPolicy = false
+		return
+	}
+	s.customState = nil
 	// The compiled comparator serves every policy consumer, indexed or not.
 	s.better = s.profile.CachePolicy.compile()
 	if s.profile.Kind != ManagePolicyCache {
@@ -190,18 +203,22 @@ func (s *Switch) indexFix(e *entry) {
 }
 
 // worstTCAMEntryNaive is the retained reference implementation of victim
-// selection: collect the TCAM residents and scan for the policy-worst. The
-// differential test asserts the index always agrees with it.
+// selection: scan the TCAM residents for the policy-worst. The differential
+// test asserts the index always agrees with it. It compares through
+// s.better — identical to Policy.Worst for compiled LEX policies, and the
+// only comparator that can see a custom policy's per-switch state.
 func (s *Switch) worstTCAMEntryNaive() *entry {
-	var candidates []*entry
+	var worst *entry
 	for _, r := range s.tcam.Rules() {
 		e := entryOf(r)
 		if e == nil {
 			continue
 		}
-		candidates = append(candidates, e)
+		if worst == nil || s.better(worst, e) {
+			worst = e
+		}
 	}
-	return s.profile.CachePolicy.Worst(candidates)
+	return worst
 }
 
 // bestSoftwareEntryNaive is the retained reference scan for promotion.
@@ -212,7 +229,7 @@ func (s *Switch) bestSoftwareEntryNaive() *entry {
 		if e == nil || !s.tcamAdmits(r.Match.Width()) {
 			continue
 		}
-		if best == nil || s.profile.CachePolicy.Better(e, best) {
+		if best == nil || s.better(e, best) {
 			best = e
 		}
 	}

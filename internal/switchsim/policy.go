@@ -69,8 +69,15 @@ func (k SortKey) String() string {
 // the cache retains the flows that order best under Keys[0], breaking ties
 // with Keys[1], and so on. The zero value (no keys) is invalid for
 // policy-managed switches.
+//
+// Custom, when set, replaces the LEX composite with a policy outside the
+// paper's model (custompolicy.go); Keys is ignored. Custom policies score
+// entries through per-switch state, so the pure Policy.Better/Worst helpers
+// cannot evaluate them and degenerate to insertion order — switches route
+// every comparison through their instantiated state instead.
 type Policy struct {
-	Keys []SortKey
+	Keys   []SortKey
+	Custom *CustomPolicy
 }
 
 // Named building-block policies.
@@ -89,6 +96,9 @@ var (
 
 // String implements fmt.Stringer.
 func (p Policy) String() string {
+	if p.Custom != nil {
+		return p.Custom.Name
+	}
 	if len(p.Keys) == 0 {
 		return "none"
 	}
@@ -99,8 +109,12 @@ func (p Policy) String() string {
 	return s
 }
 
-// Equal reports whether two policies have identical key sequences.
+// Equal reports whether two policies have identical key sequences. Custom
+// policies compare by name; a custom policy never equals a LEX composite.
 func (p Policy) Equal(o Policy) bool {
+	if p.Custom != nil || o.Custom != nil {
+		return p.Custom != nil && o.Custom != nil && p.Custom.Name == o.Custom.Name
+	}
 	if len(p.Keys) != len(o.Keys) {
 		return false
 	}

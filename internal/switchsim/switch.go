@@ -172,6 +172,15 @@ type Switch struct {
 	// better is the cache policy's comparator, compiled once per
 	// (re)initialisation — hot paths call it instead of Policy.Better.
 	better func(a, b *entry) bool
+	// customState is the per-switch scoring state of a CustomPolicy, nil
+	// for LEX policies. Custom policies run without the heaps above (their
+	// scores shift for many entries at once), so every victim/refill choice
+	// takes the naive scans through s.better.
+	customState customState
+
+	// detector, when attached via WithDetector, observes every data-plane
+	// classification for the overflow-probing signature.
+	detector *OverflowDetector
 
 	// frame is the scratch decode target reused across SendPacketN calls so
 	// the data-plane hot loop does not allocate per packet.
@@ -803,6 +812,7 @@ func (s *Switch) removeRule(r *flowtable.Rule) {
 	s.untrackRule(r)
 	if e != nil {
 		s.untrack(e)
+		s.customRemove(e)
 	}
 	s.invalidateKernel(r)
 	r.Ext = nil
@@ -917,6 +927,10 @@ func (s *Switch) sendLocked(f *packet.Frame, inPort uint16, size, n int) Result 
 	s.stats.PacketsSeen += uint64(n)
 	s.tel.packets.Add(int64(n))
 	res := s.pipeline(f, inPort, size)
+	if s.detector != nil {
+		key, ok := flowtable.FrameKey(f)
+		s.observeFrame(key, ok, res.Path)
+	}
 	if n > 1 {
 		// Account the remaining n-1 touches on the matched rule.
 		if res.Rule != nil {
@@ -927,6 +941,7 @@ func (s *Switch) sendLocked(f *packet.Frame, inPort uint16, size, n int) Result 
 				e.traffic += uint64(n - 1)
 				e.useSeq = s.nextEvent()
 				s.indexFix(e)
+				s.customTouch(e, uint64(n-1))
 			}
 			if e != nil && !e.inTCAM {
 				s.maybePromote(e)
@@ -1180,6 +1195,7 @@ func (s *Switch) touch(e *entry, r *flowtable.Rule, size int, now time.Time) {
 		e.useSeq = s.nextEvent()
 		e.traffic++
 		s.indexFix(e)
+		s.customTouch(e, 1)
 	}
 }
 

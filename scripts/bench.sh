@@ -3,16 +3,16 @@
 # snapshot (ns/op plus each benchmark's custom metrics) so every PR leaves a
 # point on the perf trajectory.
 #
-#   scripts/bench.sh                           # writes BENCH_6.json
-#   OUT=BENCH_7.json BASELINE=BENCH_6.json scripts/bench.sh   # next PR
+#   scripts/bench.sh                           # writes BENCH_7.json
+#   OUT=BENCH_8.json BASELINE=BENCH_7.json scripts/bench.sh   # next PR
 #   BENCH='Table1' COUNT=5 scripts/bench.sh    # subset / more repeats
 #   BASELINE=old.json scripts/bench.sh         # embed old.json as "baseline"
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${OUT:-BENCH_6.json}
-BASELINE=${BASELINE:-BENCH_5.json}
-BENCH=${BENCH:-'Table1|SizeInference|PolicyInference|Figure3b|Figure3c|SchedRun|TangoOrder|TelemetryVecRecord'}
+OUT=${OUT:-BENCH_7.json}
+BASELINE=${BASELINE:-BENCH_6.json}
+BENCH=${BENCH:-'Table1|SizeInference|PolicyInference|Figure3b|Figure3c|SchedRun|TangoOrder|TelemetryVecRecord|Adversarial'}
 COUNT=${COUNT:-3}
 
 go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . |
