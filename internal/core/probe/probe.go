@@ -151,6 +151,11 @@ type Engine struct {
 	frameWin  []*cachedFrame
 	frameBase uint32
 	frameOver map[uint32]*cachedFrame
+	// frameSlab is the allocation arena behind both caches: slots are
+	// carved from slabs of frameSlabSize so a size sweep's thousands of
+	// cache fills cost dozens of allocations instead of one per flow,
+	// and the GC scans a handful of large objects instead of a swarm.
+	frameSlab []cachedFrame
 	// opScratch is the flow-mod TimeOps reuses across a batch's ops.
 	opScratch openflow.FlowMod
 
@@ -281,6 +286,10 @@ func (e *Engine) flowMod(fm *openflow.FlowMod) error {
 	return e.withRetry("flowmod", func() error { return e.dev.FlowMod(fm) }, scrub)
 }
 
+// frameSlabSize is the frame-cache arena's slab length (cache slots per
+// allocation).
+const frameSlabSize = 256
+
 // frameWindow bounds how far past the first-seen flow ID the dense cache
 // window extends. 32Ki slots cover every doubling phase the default MaxRules
 // budget can reach while keeping the worst-case window at 256KiB of slots.
@@ -301,7 +310,14 @@ func (e *Engine) frame(id uint32) (*cachedFrame, error) {
 		return cf, nil
 	}
 	e.mFrameMiss.Add(1)
-	cf := &cachedFrame{}
+	if len(e.frameSlab) == cap(e.frameSlab) {
+		// Full (or nil) slab: start a fresh one. Slots already handed out
+		// keep their addresses — the old backing array stays reachable
+		// through frameWin/frameOver.
+		e.frameSlab = make([]cachedFrame, 0, frameSlabSize)
+	}
+	e.frameSlab = append(e.frameSlab, cachedFrame{})
+	cf := &e.frameSlab[len(e.frameSlab)-1]
 	data, err := packet.AppendBuildProbe(cf.buf[:0], packet.ProbeSpec{FlowID: id})
 	if err != nil {
 		return nil, err

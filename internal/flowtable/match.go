@@ -66,15 +66,18 @@ func (w Width) String() string {
 }
 
 // Match is a header-space predicate. The zero value matches every frame.
+// Field order is packing-conscious (the pointer-aligned prefixes lead),
+// gated by the structlayout test: matches are embedded in every rule and
+// scanned on lookup misses.
 type Match struct {
-	// Fields records which of the following members are significant.
+	NwSrc netip.Prefix
+	NwDst netip.Prefix
+	// Fields records which of the other members are significant.
 	Fields  Field
 	InPort  uint16
 	DlSrc   packet.MAC
 	DlDst   packet.MAC
 	DlType  packet.EtherType
-	NwSrc   netip.Prefix
-	NwDst   netip.Prefix
 	NwProto packet.IPProtocol
 	TpSrc   uint16
 	TpDst   uint16

@@ -34,18 +34,13 @@ func Output(p uint16) []Action { return []Action{{Type: ActionOutput, Port: p}} 
 // per-flow statistics OpenFlow switches maintain and Tango's switch model
 // assumes cache policies read (time since insertion, time since last use,
 // traffic count, rule priority — the ATTRIB set of §5.1).
+// Field order is packing-conscious (narrow fields are grouped at the
+// tail), gated by the structlayout test: rules are slab-allocated by the
+// thousands.
 type Rule struct {
-	Match    Match
-	Priority uint16
-	Actions  []Action
-	Cookie   uint64
-
-	// IdleTimeout and HardTimeout expire the rule (seconds; 0 = never):
-	// idle counts from the last matched packet, hard from installation.
-	IdleTimeout uint16
-	HardTimeout uint16
-	// SendFlowRem requests a FLOW_REMOVED notification when the rule dies.
-	SendFlowRem bool
+	Match   Match
+	Actions []Action
+	Cookie  uint64
 
 	// Stats are updated by the pipeline on every matched frame.
 	Packets uint64
@@ -60,10 +55,20 @@ type Rule struct {
 	// as a tie-free "time since insertion" attribute.
 	seq uint64
 
-	// Ext is an opaque slot for the rule's owner. The switch emulator hangs
-	// its per-rule cache bookkeeping here so hot paths resolve rule→entry
-	// without a map lookup; the table itself never reads it.
-	Ext any
+	// Ext is an opaque handle slot for the rule's owner. The switch emulator
+	// stores the rule's arena handle here so hot paths resolve rule→entry
+	// with one integer index instead of a map lookup or interface assertion;
+	// zero means "no owner record". The table itself never reads it.
+	Ext int32
+
+	Priority uint16
+
+	// IdleTimeout and HardTimeout expire the rule (seconds; 0 = never):
+	// idle counts from the last matched packet, hard from installation.
+	IdleTimeout uint16
+	HardTimeout uint16
+	// SendFlowRem requests a FLOW_REMOVED notification when the rule dies.
+	SendFlowRem bool
 }
 
 // Seq returns the rule's insertion sequence number within its table.
@@ -136,6 +141,9 @@ func ExactKey(m *Match) (uint64, bool) {
 func FrameKey(f *packet.Frame) (uint64, bool) {
 	if !f.HasIPv4 {
 		return 0, false
+	}
+	if k, ok := f.IP.AddrWord(); ok {
+		return k, true
 	}
 	return packAddrs(f.IP.Src, f.IP.Dst)
 }
@@ -386,12 +394,24 @@ func (t *Table) Delete(m *Match, priority uint16) (*Rule, error) {
 
 // Remove deletes the given rule pointer if present (used by cache eviction).
 // The rule's position is found by binary search on its (priority, seq) key.
+//
+// The slice is closed up from whichever end is nearer, deque-style: eviction
+// policies overwhelmingly remove the oldest rule of an equal-priority run —
+// the front of the table under a single-priority probing fill — and shifting
+// the (empty) prefix instead of the whole tail turns that from an O(n)
+// barriered pointer copy per eviction into a constant-time head advance.
 func (t *Table) Remove(target *Rule) bool {
 	i, ok := findByOrder(t.rules, target)
 	if !ok {
 		return false
 	}
-	t.rules = append(t.rules[:i], t.rules[i+1:]...)
+	if i < len(t.rules)-i-1 {
+		copy(t.rules[1:i+1], t.rules[:i])
+		t.rules[0] = nil // drop the stale duplicate for GC
+		t.rules = t.rules[1:]
+	} else {
+		t.rules = append(t.rules[:i], t.rules[i+1:]...)
+	}
 	t.indexRemove(target)
 	return true
 }

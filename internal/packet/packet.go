@@ -105,7 +105,18 @@ type IPv4 struct {
 	Length uint16
 	// ID is the identification field, useful for tagging probe packets.
 	ID uint16
+	// addrWord caches the packed src<<32|dst big-endian address word at
+	// decode time, so exact-match classifiers keying on the address pair
+	// read one integer instead of re-packing two netip.Addr values per
+	// packet. Zero means "not cached" (hand-built headers, or the all-zero
+	// address pair) and consumers fall back to packing the addresses.
+	addrWord uint64
 }
+
+// AddrWord returns the cached packed (src<<32 | dst) address word; ok is
+// false when the header was not produced by DecodeFromBytes and the caller
+// must derive the word from Src and Dst itself.
+func (ip *IPv4) AddrWord() (uint64, bool) { return ip.addrWord, ip.addrWord != 0 }
 
 const ipv4HeaderLen = 20
 
@@ -132,6 +143,7 @@ func (ip *IPv4) DecodeFromBytes(data []byte) ([]byte, error) {
 	ip.Protocol = IPProtocol(data[9])
 	ip.Src = netip.AddrFrom4([4]byte(data[12:16]))
 	ip.Dst = netip.AddrFrom4([4]byte(data[16:20]))
+	ip.addrWord = binary.BigEndian.Uint64(data[12:20])
 	return data[ihl:], nil
 }
 

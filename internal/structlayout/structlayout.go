@@ -1,0 +1,67 @@
+// Package structlayout is a dependency-free, reflect-based stand-in for
+// the x/tools fieldalignment analyzer: it computes the minimal size a
+// struct could have if its fields were reordered, and reports the padding
+// wasted by the declared order. Hot-path packages gate their per-entry
+// structs on zero waste in tests, so a field added in the wrong place
+// fails CI instead of silently inflating every arena slot.
+package structlayout
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// sizeOf lays out fields (as size/align pairs) in the given order and
+// returns the resulting struct size: each field is placed at its next
+// aligned offset, and the total is rounded up to the struct alignment.
+func sizeOf(fields []reflect.Type, structAlign uintptr) uintptr {
+	var off uintptr
+	for _, f := range fields {
+		if a := uintptr(f.Align()); a > 0 {
+			off = (off + a - 1) &^ (a - 1)
+		}
+		off += f.Size()
+	}
+	if structAlign > 0 {
+		off = (off + structAlign - 1) &^ (structAlign - 1)
+	}
+	return off
+}
+
+// Optimal returns the minimal size of struct type t under field
+// reordering. Go alignments are powers of two and every type's size is a
+// multiple of its alignment, so placing fields in descending alignment
+// order leaves no internal padding — that greedy order is optimal.
+func Optimal(t reflect.Type) uintptr {
+	if t.Kind() != reflect.Struct {
+		return t.Size()
+	}
+	fields := make([]reflect.Type, t.NumField())
+	for i := range fields {
+		fields[i] = t.Field(i).Type
+	}
+	sort.SliceStable(fields, func(i, j int) bool {
+		if fields[i].Align() != fields[j].Align() {
+			return fields[i].Align() > fields[j].Align()
+		}
+		return fields[i].Size() > fields[j].Size()
+	})
+	return sizeOf(fields, uintptr(t.Align()))
+}
+
+// Check returns an error when v's struct type is larger than a reordering
+// of its fields would be — i.e. when the declared field order wastes
+// padding bytes. v is a value of the struct type (typically a zero value).
+func Check(v interface{}) error {
+	t := reflect.TypeOf(v)
+	if t.Kind() != reflect.Struct {
+		return fmt.Errorf("structlayout: %v is not a struct", t)
+	}
+	actual, optimal := t.Size(), Optimal(t)
+	if actual > optimal {
+		return fmt.Errorf("structlayout: %v is %d bytes but could be %d: field order wastes %d padding bytes",
+			t, actual, optimal, actual-optimal)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package structlayout
+
+import (
+	"reflect"
+	"testing"
+	"unsafe"
+)
+
+type packed struct {
+	a uint64
+	b int64
+	c []byte
+	d uint32
+	e uint16
+	f uint16
+	g bool
+	h bool
+}
+
+type wasteful struct {
+	g bool
+	a uint64
+	e uint16
+	c []byte
+	h bool
+	d uint32
+}
+
+func TestCheckAcceptsPackedStruct(t *testing.T) {
+	if err := Check(packed{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejectsWastefulStruct(t *testing.T) {
+	if err := Check(wasteful{}); err == nil {
+		t.Fatalf("wasteful struct (size %d) passed the gate", unsafe.Sizeof(wasteful{}))
+	}
+}
+
+func TestCheckRejectsNonStruct(t *testing.T) {
+	if err := Check(42); err == nil {
+		t.Fatal("non-struct value passed the gate")
+	}
+}
+
+func TestOptimalMatchesHandPacking(t *testing.T) {
+	// The wasteful struct packs to: 8 (a) + 24 (c, slice header) + 4 (d) +
+	// 2 (e) + 1 (g) + 1 (h) = 40 bytes with no padding at all.
+	if got := Optimal(reflect.TypeOf(wasteful{})); got != 40 {
+		t.Fatalf("Optimal = %d, want 40", got)
+	}
+	// A struct needing tail padding: 8 + 1 rounds up to 16.
+	type tail struct {
+		a uint64
+		b bool
+	}
+	if got := Optimal(reflect.TypeOf(tail{})); got != unsafe.Sizeof(tail{}) {
+		t.Fatalf("Optimal = %d, want %d", got, unsafe.Sizeof(tail{}))
+	}
+}

@@ -62,7 +62,7 @@ func PolicyDestAggregate() Policy {
 		Name: "dest-aggregate(/28)",
 		newState: func() customState {
 			return &destAggState{
-				group: make(map[*entry]uint32),
+				group: make(map[int32]uint32),
 				score: make(map[uint32]uint64),
 			}
 		},
@@ -70,9 +70,10 @@ func PolicyDestAggregate() Policy {
 }
 
 // destAggState scores entries by their destination /28 group's cumulative
-// traffic.
+// traffic. State is keyed by arena handle (entry.self), not *entry: arena
+// pointers move when the arena grows, handles never do.
 type destAggState struct {
-	group map[*entry]uint32 // memoized group key per live entry
+	group map[int32]uint32  // memoized group key per live entry handle
 	score map[uint32]uint64 // cumulative traffic per group
 }
 
@@ -80,14 +81,14 @@ type destAggState struct {
 const residualGroup = ^uint32(0)
 
 func (st *destAggState) key(e *entry) uint32 {
-	if g, ok := st.group[e]; ok {
+	if g, ok := st.group[e.self]; ok {
 		return g
 	}
 	g := residualGroup
 	if k, ok := flowtable.ExactKey(&e.rule.Match); ok {
 		g = uint32(k) >> 4 // low word is the destination; aggregate at /28
 	}
-	st.group[e] = g
+	st.group[e.self] = g
 	return g
 }
 
@@ -104,7 +105,7 @@ func (st *destAggState) onTouch(e *entry, n uint64) {
 }
 
 func (st *destAggState) onRemove(e *entry) {
-	g, ok := st.group[e]
+	g, ok := st.group[e.self]
 	if !ok {
 		return
 	}
@@ -114,7 +115,7 @@ func (st *destAggState) onRemove(e *entry) {
 	} else {
 		delete(st.score, g)
 	}
-	delete(st.group, e)
+	delete(st.group, e.self)
 }
 
 // PolicyFDRC returns a flow-driven rule-caching policy: switch-wide
@@ -131,7 +132,7 @@ func PolicyFDRC(window uint64) Policy {
 	return Policy{Custom: &CustomPolicy{
 		Name: "fdrc(window=" + itoa(window) + ")",
 		newState: func() customState {
-			return &fdrcState{window: window, cells: make(map[*entry]fdrcCell)}
+			return &fdrcState{window: window, cells: make(map[int32]fdrcCell)}
 		},
 	}}
 }
@@ -158,10 +159,11 @@ type fdrcCell struct {
 }
 
 // fdrcState scores entries by current-plus-previous-epoch packet counts.
+// Cells are keyed by arena handle for the same reason as destAggState.
 type fdrcState struct {
 	window uint64
 	events uint64 // switch-wide data-plane packets seen
-	cells  map[*entry]fdrcCell
+	cells  map[int32]fdrcCell
 }
 
 func (st *fdrcState) epochNow() uint64 { return st.events / st.window }
@@ -170,7 +172,7 @@ func (st *fdrcState) epochNow() uint64 { return st.events / st.window }
 // rotation is applied as a view, so comparisons during eviction scans are
 // side-effect free.
 func (st *fdrcState) scoreOf(e *entry) uint64 {
-	c, ok := st.cells[e]
+	c, ok := st.cells[e.self]
 	if !ok {
 		return 0
 	}
@@ -198,7 +200,7 @@ func (st *fdrcState) better(a, b *entry) bool {
 func (st *fdrcState) onTouch(e *entry, n uint64) {
 	st.events += n
 	ep := st.epochNow()
-	c := st.cells[e]
+	c := st.cells[e.self]
 	switch {
 	case c.epoch == ep:
 	case c.epoch+1 == ep:
@@ -207,11 +209,11 @@ func (st *fdrcState) onTouch(e *entry, n uint64) {
 		c.prev, c.cur, c.epoch = 0, 0, ep
 	}
 	c.cur += n
-	st.cells[e] = c
+	st.cells[e.self] = c
 }
 
 func (st *fdrcState) onRemove(e *entry) {
-	delete(st.cells, e)
+	delete(st.cells, e.self)
 }
 
 // customTouch routes a data-plane touch to the active custom policy state.

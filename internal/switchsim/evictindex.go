@@ -17,58 +17,65 @@ package switchsim
 // rebuild and rescan the naive scan paid on every insert into a full cache.
 // The naive scans survive as worstTCAMEntryNaive/bestSoftwareEntryNaive,
 // the reference implementations the differential test replays against.
+//
+// The heaps hold int32 arena handles, not pointers: a sift writes only
+// integers into items and heapIdx fields, so the GC write barrier never
+// runs on this path (it fires on pointer stores into heap objects — the
+// dominant cost of the old []*entry sifts during demote churn).
 
-// entryHeap is a binary heap of entries with back-pointers. first reports
-// whether a must sit closer to the root than b; with a total order the root
-// is the unique extreme element.
-type entryHeap struct {
-	items []*entry
+// handleHeap is a binary heap of arena handles with back-pointers in the
+// arena records. first reports whether a must sit closer to the root than b;
+// with a total order the root is the unique extreme element. Every method
+// takes the arena slice explicitly, because the slice header changes when
+// the arena grows.
+type handleHeap struct {
+	items []int32
 	first func(a, b *entry) bool
 }
 
-func newEntryHeap(first func(a, b *entry) bool) *entryHeap {
-	return &entryHeap{first: first}
+func newHandleHeap(first func(a, b *entry) bool) *handleHeap {
+	return &handleHeap{first: first}
 }
 
-func (h *entryHeap) len() int { return len(h.items) }
+func (h *handleHeap) len() int { return len(h.items) }
 
 // peek returns the root entry, nil when empty.
-func (h *entryHeap) peek() *entry {
+func (h *handleHeap) peek(ar []entry) *entry {
 	if len(h.items) == 0 {
 		return nil
 	}
-	return h.items[0]
+	return &ar[h.items[0]]
 }
 
 // contains reports whether e currently sits in this heap. Back-pointers are
-// shared across heaps, so identity is checked, not just the index.
-func (h *entryHeap) contains(e *entry) bool {
-	return e.heapIdx >= 0 && e.heapIdx < len(h.items) && h.items[e.heapIdx] == e
+// shared across heaps, so the slot's occupant is checked, not just the index.
+func (h *handleHeap) contains(e *entry) bool {
+	i := e.heapIdx
+	return i >= 0 && int(i) < len(h.items) && h.items[i] == e.self
 }
 
 // push adds e to the heap. e must not already be in any heap.
-func (h *entryHeap) push(e *entry) {
-	e.heapIdx = len(h.items)
-	h.items = append(h.items, e)
-	h.up(e.heapIdx)
+func (h *handleHeap) push(ar []entry, e *entry) {
+	e.heapIdx = int32(len(h.items))
+	h.items = append(h.items, e.self)
+	h.up(ar, int(e.heapIdx))
 }
 
 // removeEntry takes e out of the heap, reporting whether it was a member.
-func (h *entryHeap) removeEntry(e *entry) bool {
+func (h *handleHeap) removeEntry(ar []entry, e *entry) bool {
 	if !h.contains(e) {
 		return false
 	}
-	i := e.heapIdx
+	i := int(e.heapIdx)
 	last := len(h.items) - 1
 	if i != last {
-		h.swap(i, last)
+		h.swap(ar, i, last)
 	}
-	h.items[last] = nil
 	h.items = h.items[:last]
-	e.heapIdx = -1
+	e.heapIdx = noHeap
 	if i != last {
-		if !h.down(i) {
-			h.up(i)
+		if !h.down(ar, i) {
+			h.up(ar, i)
 		}
 	}
 	return true
@@ -76,36 +83,36 @@ func (h *entryHeap) removeEntry(e *entry) bool {
 
 // fix restores heap order around e after its attributes changed, reporting
 // whether e was a member.
-func (h *entryHeap) fix(e *entry) bool {
+func (h *handleHeap) fix(ar []entry, e *entry) bool {
 	if !h.contains(e) {
 		return false
 	}
-	if !h.down(e.heapIdx) {
-		h.up(e.heapIdx)
+	if !h.down(ar, int(e.heapIdx)) {
+		h.up(ar, int(e.heapIdx))
 	}
 	return true
 }
 
-func (h *entryHeap) swap(i, j int) {
+func (h *handleHeap) swap(ar []entry, i, j int) {
 	h.items[i], h.items[j] = h.items[j], h.items[i]
-	h.items[i].heapIdx = i
-	h.items[j].heapIdx = j
+	ar[h.items[i]].heapIdx = int32(i)
+	ar[h.items[j]].heapIdx = int32(j)
 }
 
 // up sifts items[i] toward the root.
-func (h *entryHeap) up(i int) {
+func (h *handleHeap) up(ar []entry, i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.first(h.items[i], h.items[parent]) {
+		if !h.first(&ar[h.items[i]], &ar[h.items[parent]]) {
 			return
 		}
-		h.swap(i, parent)
+		h.swap(ar, i, parent)
 		i = parent
 	}
 }
 
 // down sifts items[i] toward the leaves, reporting whether it moved.
-func (h *entryHeap) down(i int) bool {
+func (h *handleHeap) down(ar []entry, i int) bool {
 	moved := false
 	n := len(h.items)
 	for {
@@ -114,13 +121,13 @@ func (h *entryHeap) down(i int) bool {
 			return moved
 		}
 		next := left
-		if right := left + 1; right < n && h.first(h.items[right], h.items[left]) {
+		if right := left + 1; right < n && h.first(&ar[h.items[right]], &ar[h.items[left]]) {
 			next = right
 		}
-		if !h.first(h.items[next], h.items[i]) {
+		if !h.first(&ar[h.items[next]], &ar[h.items[i]]) {
 			return moved
 		}
-		h.swap(i, next)
+		h.swap(ar, i, next)
 		i = next
 		moved = true
 	}
@@ -149,8 +156,8 @@ func (s *Switch) initIndexes() {
 		return
 	}
 	better := s.better
-	s.evictIdx = newEntryHeap(func(a, b *entry) bool { return better(b, a) })
-	s.promoteIdx = newEntryHeap(better)
+	s.evictIdx = newHandleHeap(func(a, b *entry) bool { return better(b, a) })
+	s.promoteIdx = newHandleHeap(better)
 	policy := s.profile.CachePolicy
 	s.dynPolicy = false
 	for _, k := range policy.Keys {
@@ -165,7 +172,7 @@ func (s *Switch) trackTCAM(e *entry) {
 	if s.evictIdx == nil {
 		return
 	}
-	s.evictIdx.push(e)
+	s.evictIdx.push(s.entries, e)
 	s.tel.idxPushes.Add(1)
 }
 
@@ -176,7 +183,7 @@ func (s *Switch) trackSoft(e *entry) {
 	if s.promoteIdx == nil || !s.tcamAdmits(e.rule.Match.Width()) {
 		return
 	}
-	s.promoteIdx.push(e)
+	s.promoteIdx.push(s.entries, e)
 	s.tel.idxPushes.Add(1)
 }
 
@@ -185,7 +192,7 @@ func (s *Switch) untrack(e *entry) {
 	if s.evictIdx == nil || e == nil || e.heapIdx < 0 {
 		return
 	}
-	if s.evictIdx.removeEntry(e) || s.promoteIdx.removeEntry(e) {
+	if s.evictIdx.removeEntry(s.entries, e) || s.promoteIdx.removeEntry(s.entries, e) {
 		s.tel.idxRemoves.Add(1)
 	}
 }
@@ -197,7 +204,7 @@ func (s *Switch) indexFix(e *entry) {
 	if !s.dynPolicy || e == nil || e.heapIdx < 0 {
 		return
 	}
-	if s.evictIdx.fix(e) || s.promoteIdx.fix(e) {
+	if s.evictIdx.fix(s.entries, e) || s.promoteIdx.fix(s.entries, e) {
 		s.tel.idxFixups.Add(1)
 	}
 }
@@ -210,7 +217,7 @@ func (s *Switch) indexFix(e *entry) {
 func (s *Switch) worstTCAMEntryNaive() *entry {
 	var worst *entry
 	for _, r := range s.tcam.Rules() {
-		e := entryOf(r)
+		e := s.entryOf(r)
 		if e == nil {
 			continue
 		}
@@ -225,7 +232,7 @@ func (s *Switch) worstTCAMEntryNaive() *entry {
 func (s *Switch) bestSoftwareEntryNaive() *entry {
 	var best *entry
 	for _, r := range s.software.Rules() {
-		e := entryOf(r)
+		e := s.entryOf(r)
 		if e == nil || !s.tcamAdmits(r.Match.Width()) {
 			continue
 		}

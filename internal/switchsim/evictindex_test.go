@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"tango/internal/flowtable"
 	"tango/internal/openflow"
 	"tango/internal/packet"
+	"tango/internal/simclock"
 )
 
 // checkIndexes asserts that both heaps agree with the retained naive scans —
@@ -28,15 +30,19 @@ func checkIndexes(t *testing.T, s *Switch) {
 		t.Fatalf("bestSoftwareEntry: index picked %+v, naive scan picked %+v", got, want)
 	}
 
-	inEvict := map[*entry]bool{}
-	for _, e := range s.evictIdx.items {
+	inEvict := map[int32]bool{}
+	for _, h := range s.evictIdx.items {
+		e := s.entryAt(h)
+		if e == nil {
+			t.Fatalf("eviction index holds dead handle %d", h)
+		}
 		if !s.evictIdx.contains(e) {
 			t.Fatalf("eviction index back-pointer broken for %+v", e)
 		}
-		inEvict[e] = true
+		inEvict[h] = true
 	}
 	for _, r := range s.tcam.Rules() {
-		if e := entryOf(r); e != nil && !inEvict[e] {
+		if e := s.entryOf(r); e != nil && !inEvict[e.self] {
 			t.Fatalf("TCAM resident %v missing from eviction index", r.Match)
 		}
 	}
@@ -44,37 +50,86 @@ func checkIndexes(t *testing.T, s *Switch) {
 		t.Fatalf("eviction index tracks %d entries, TCAM holds %d", len(inEvict), s.tcam.Len())
 	}
 
-	inPromote := map[*entry]bool{}
-	for _, e := range s.promoteIdx.items {
+	inPromote := map[int32]bool{}
+	for _, h := range s.promoteIdx.items {
+		e := s.entryAt(h)
+		if e == nil {
+			t.Fatalf("promotion index holds dead handle %d", h)
+		}
 		if !s.promoteIdx.contains(e) {
 			t.Fatalf("promotion index back-pointer broken for %+v", e)
 		}
-		inPromote[e] = true
+		inPromote[h] = true
 	}
 	eligible := 0
 	for _, r := range s.software.Rules() {
-		e := entryOf(r)
+		e := s.entryOf(r)
 		if e == nil || !s.tcamAdmits(r.Match.Width()) {
 			continue
 		}
 		eligible++
-		if !inPromote[e] {
+		if !inPromote[e.self] {
 			t.Fatalf("software resident %v missing from promotion index", r.Match)
 		}
 	}
 	if len(inPromote) != eligible {
 		t.Fatalf("promotion index tracks %d entries, software holds %d eligible", len(inPromote), eligible)
 	}
+
+	checkArena(t, s)
+}
+
+// checkArena asserts the flat-arena bookkeeping invariants: every tracked
+// rule resolves to a live arena record and vice versa (no leaks, no
+// dangling handles), and every free-listed slot is dead — its zeroed self
+// field makes stale handles resolve to nil.
+func checkArena(t *testing.T, s *Switch) {
+	t.Helper()
+	tracked := 0
+	s.forEachTracked(func(r *flowtable.Rule) {
+		tracked++
+		e := s.entryOf(r)
+		if e == nil {
+			t.Fatalf("tracked rule %v (handle %d) resolves to no arena record", r.Match, r.Ext)
+		}
+		if e.rule != r {
+			t.Fatalf("arena record %d points at the wrong rule", e.self)
+		}
+	})
+	if live := s.arenaLive(); live != tracked {
+		t.Fatalf("arena holds %d live records, switch tracks %d rules", live, tracked)
+	}
+	onFree := map[int32]bool{}
+	for _, h := range s.freeEnts {
+		if onFree[h] {
+			t.Fatalf("handle %d free-listed twice", h)
+		}
+		onFree[h] = true
+		if h <= 0 || int(h) >= len(s.entries) {
+			t.Fatalf("free list holds out-of-range handle %d", h)
+		}
+		if s.entries[h].self != 0 {
+			t.Fatalf("free slot %d still claims self=%d; stale handles would resolve", h, s.entries[h].self)
+		}
+		if s.entryAt(h) != nil {
+			t.Fatalf("freed handle %d still resolves", h)
+		}
+	}
 }
 
 // runDifferential drives one switch through a randomized insert / touch /
-// burst / delete / re-add sequence, checking index-vs-scan agreement after
-// every step. Small capacities keep the cache saturated, so evictions,
-// promotions, and refills fire constantly.
+// burst / delete / re-add sequence — plus the arena's adversarial ops:
+// timeout expiry and Reset (both recycle handles, so later steps probe
+// stale-handle detection), and install bursts past both table capacities
+// (free-list exhaustion followed by arena growth mid-churn) — checking
+// index-vs-scan agreement and the arena invariants after every step. Small
+// capacities keep the cache saturated, so evictions, promotions, and
+// refills fire constantly.
 func runDifferential(t *testing.T, policy Policy, seed int64) {
 	p := TestSwitch(6, policy)
 	p.SoftwareCapacity = 18
-	s := New(p, WithSeed(seed))
+	clk := simclock.NewVirtual()
+	s := New(p, WithSeed(seed), WithClock(clk))
 	rng := rand.New(rand.NewSource(seed))
 
 	var live []uint32
@@ -82,7 +137,7 @@ func runDifferential(t *testing.T, policy Policy, seed int64) {
 	priorities := []uint16{10, 20, 30, 40}
 
 	for step := 0; step < 500; step++ {
-		switch op := rng.Intn(10); {
+		switch op := rng.Intn(12); {
 		case op < 4: // install a new flow
 			id := nextID
 			nextID++
@@ -109,7 +164,7 @@ func runDifferential(t *testing.T, policy Policy, seed int64) {
 			}
 			id := live[rng.Intn(len(live))]
 			_ = addFlowErr(s, id, priorities[rng.Intn(len(priorities))])
-		default: // delete an existing flow (strict)
+		case op < 10: // delete an existing flow (strict)
 			if len(live) == 0 {
 				continue
 			}
@@ -121,6 +176,37 @@ func runDifferential(t *testing.T, policy Policy, seed int64) {
 				_ = s.FlowMod(&openflow.FlowMod{
 					Command: openflow.FlowDeleteStrict, Match: m, Priority: prio,
 				})
+			}
+		case op < 11: // timed install, then sometimes expire: frees recycle handles
+			id := nextID
+			nextID++
+			err := s.FlowMod(&openflow.FlowMod{
+				Command:     openflow.FlowAdd,
+				Match:       flowtable.ExactProbeMatch(id),
+				Priority:    priorities[rng.Intn(len(priorities))],
+				IdleTimeout: uint16(1 + rng.Intn(2)),
+				HardTimeout: uint16(1 + rng.Intn(3)),
+				Actions:     flowtable.Output(1),
+			})
+			if err == nil {
+				live = append(live, id) // may die to expiry; later ops turn into no-ops
+			}
+			if rng.Intn(2) == 0 {
+				clk.Advance(time.Duration(1+rng.Intn(4)) * time.Second)
+				s.ExpireNow()
+			}
+		default: // arena stress: Reset, or a burst past capacity forcing growth
+			if rng.Intn(3) == 0 {
+				s.Reset()
+				live = live[:0]
+			} else {
+				for i := 0; i < 30; i++ {
+					id := nextID
+					nextID++
+					if addFlowErr(s, id, priorities[rng.Intn(len(priorities))]) == nil {
+						live = append(live, id)
+					}
+				}
 			}
 		}
 		checkIndexes(t, s)

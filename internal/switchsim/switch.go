@@ -52,57 +52,45 @@ var ErrTableFull = errors.New("switchsim: all tables full")
 // ErrNotFound is returned for modifications/deletions of absent rules.
 var ErrNotFound = errors.New("switchsim: no such rule")
 
-// entry is the emulator's bookkeeping for one installed rule. Attribute
-// sequence numbers are global and survive moves between tables, unlike the
-// per-table stamps flowtable keeps.
+// entry is the emulator's bookkeeping for one installed rule: a flat record
+// in the switch's entry arena (arena.go), addressed by its int32 handle.
+// Attribute sequence numbers are global and survive moves between tables,
+// unlike the per-table stamps flowtable keeps. The hot fields the eviction
+// heaps and the exact classifier read are all scalars, so touching them
+// writes no GC-visible pointers.
 type entry struct {
-	rule      *flowtable.Rule
-	insertSeq uint64
-	useSeq    uint64
-	traffic   uint64
-	inTCAM    bool
-	// inSoft mirrors software-table residency the way inTCAM mirrors TCAM
-	// residency; together they let the exact-match classifier skip the
-	// per-tier table lookups.
-	inSoft bool
-	// heapIdx is the entry's position in the eviction/promotion index
-	// (evictindex.go); -1 while the entry is in neither heap.
-	heapIdx int
+	rule *flowtable.Rule
 	// kernelKeys records the microflow-cache keys derived from this rule, so
 	// invalidation walks the owner's few keys instead of the whole kernel
 	// table. Keys whose cache slot was since evicted or re-owned are skipped
 	// by an ownership check, so stale keys are harmless.
 	kernelKeys []packet.FiveTuple
+	insertSeq  uint64
+	useSeq     uint64
+	traffic    uint64
+	// self is this record's own handle; freed slots zero it, which is what
+	// lets entryAt detect stale handles after free-list reuse.
+	self int32
+	// heapIdx is the entry's position in the eviction/promotion index
+	// (evictindex.go); -1 while the entry is in neither heap.
+	heapIdx int32
+	// nextKey chains the tracked entries sharing one exact-match key
+	// (duplicate-add phantoms); 0 terminates. The exact index (keyindex.go)
+	// stores only the head handle.
+	nextKey int32
+	inTCAM  bool
+	// inSoft mirrors software-table residency the way inTCAM mirrors TCAM
+	// residency; together they let the exact-match classifier skip the
+	// per-tier table lookups.
+	inSoft bool
 }
 
-// entryOf resolves a tracked rule to its bookkeeping entry via the rule's
-// opaque Ext slot — the hot-path replacement for a map lookup.
-func entryOf(r *flowtable.Rule) *entry {
-	e, _ := r.Ext.(*entry)
-	return e
-}
-
-// ruleEntry co-allocates a rule with its bookkeeping so an install costs one
-// (amortised, chunked) allocation instead of two; see Switch.newRuleEntry.
-type ruleEntry struct {
-	e entry
-	r flowtable.Rule
-}
-
-// bucket holds the tracked entries sharing one exact-index key. The first is
-// inline because almost every key maps to exactly one rule; keeping it out
-// of a slice saves a heap allocation per installed probe rule. Buckets store
-// entries rather than rules so the classification fast path reaches the
-// residency bits without the Ext interface assertion on every frame.
-type bucket struct {
-	one  *entry
-	more []*entry
-}
-
-// kernelEntry is one exact-match microflow cache entry (OVS kernel table).
+// kernelEntry is one exact-match microflow cache entry (OVS kernel table),
+// stored by value so the kernel map needs no per-entry allocation. owner is
+// the installing rule's arena handle.
 type kernelEntry struct {
-	owner  *entry
 	useSeq uint64
+	owner  int32
 }
 
 // Result reports the outcome of injecting one data-plane frame.
@@ -143,31 +131,38 @@ type Switch struct {
 
 	tcam     *flowtable.TCAM  // nil for ManageMicroflow
 	software *flowtable.Table // nil for ManageTCAMOnly
-	kernel   map[packet.FiveTuple]*kernelEntry
+	kernel   map[packet.FiveTuple]kernelEntry
 
 	events uint64
 
-	// byKey buckets every tracked rule by its exact-index key and wildTracked
+	// entries is the flat entry arena (arena.go): slot 0 is the reserved nil
+	// handle, freeEnts the reusable-slot free list. exact maps every tracked
+	// rule's packed exact-match word to its head handle and wildTracked
 	// holds the non-indexable residue. Together they are the switch's record
 	// of installed rules (including duplicate-add phantoms resident in no
-	// table): flow-mod deletes resolve their victims from one bucket instead
-	// of scanning all tracked rules, and expiry sweeps iterate both.
-	byKey       map[uint64]bucket
+	// table): flow-mod deletes resolve their victims from one key chain
+	// instead of scanning all tracked rules, and expiry sweeps iterate both.
+	entries     []entry
+	freeEnts    []int32
+	exact       exactIndex
 	wildTracked []*flowtable.Rule
 
-	// arena chunk-allocates ruleEntry pairs for add; arenaUsed indexes the
-	// next free slot. Slots are never reused — chunks are dropped wholesale
-	// once no live rule points into them.
-	arena     []ruleEntry
-	arenaUsed int
+	// Rule storage: rules need stable addresses (tables hold *Rule), so they
+	// come from append-only slabs; removed rules recycle through freeRules,
+	// and Reset retires whole slabs to slabPool for reuse.
+	ruleChunk []flowtable.Rule
+	ruleUsed  int
+	liveSlabs [][]flowtable.Rule
+	slabPool  [][]flowtable.Rule
+	freeRules []*flowtable.Rule
 
 	// evictIdx and promoteIdx are the policy-ordered indexes over TCAM and
 	// software residents (evictindex.go); nil except for ManagePolicyCache.
 	// dynPolicy records whether the cache policy reads attributes that
 	// change on data-plane touches (use time, traffic), which is what makes
 	// touch paths pay an O(log n) index fixup.
-	evictIdx   *entryHeap
-	promoteIdx *entryHeap
+	evictIdx   *handleHeap
+	promoteIdx *handleHeap
 	dynPolicy  bool
 	// better is the cache policy's comparator, compiled once per
 	// (re)initialisation — hot paths call it instead of Policy.Better.
@@ -246,8 +241,9 @@ func New(p Profile, opts ...Option) *Switch {
 		s.software = &flowtable.Table{Capacity: p.softwareCap()}
 	case ManageMicroflow:
 		s.software = &flowtable.Table{Capacity: p.softwareCap()}
-		s.kernel = make(map[packet.FiveTuple]*kernelEntry)
+		s.kernel = make(map[packet.FiveTuple]kernelEntry)
 	}
+	s.exact.init(s.trackedHint())
 	s.initIndexes()
 	// Bind to the process-wide default telemetry (a no-op unless a command
 	// installed one); WithTelemetry overrides it below.
@@ -268,12 +264,11 @@ func (p Profile) softwareCap() int {
 func (s *Switch) installDefaultRoute() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	re := s.newRuleEntry()
-	r := &re.r
+	h, e := s.allocEntry()
+	r := s.newRule()
 	r.Priority = 0
 	r.Actions = []flowtable.Action{{Type: flowtable.ActionController}}
-	e := &re.e
-	e.rule, e.insertSeq, e.heapIdx = r, s.nextEvent(), -1
+	e.rule, e.insertSeq = r, s.nextEvent()
 	if s.tcam != nil {
 		if _, err := s.tcam.Insert(r, s.clock.Now()); err == nil {
 			e.inTCAM = true
@@ -282,69 +277,71 @@ func (s *Switch) installDefaultRoute() {
 	} else if s.software != nil {
 		_, _ = s.software.Insert(r, s.clock.Now())
 	}
-	r.Ext = e
+	r.Ext = h
 	s.trackRule(r)
 	s.defaultRule = r
 }
 
-// newRuleEntry hands out the next slot of the rule arena, growing it by a
-// fresh chunk when exhausted.
-func (s *Switch) newRuleEntry() *ruleEntry {
-	if s.arenaUsed == len(s.arena) {
-		s.arena = make([]ruleEntry, 256)
-		s.arenaUsed = 0
+// trackedHint sizes the exact index for the full hierarchy up front: probing
+// installs run straight to capacity, and incremental growth would double the
+// rehash traffic. "Virtually unlimited" software tables are capped — they
+// never actually fill.
+func (s *Switch) trackedHint() int {
+	hint := s.profile.TCAM.CapacityNarrow + s.profile.softwareCap()
+	if hint > 2048 {
+		hint = 2048
 	}
-	re := &s.arena[s.arenaUsed]
-	s.arenaUsed++
-	return re
+	return hint
 }
 
-// trackRule registers an installed rule in the tracked-rule index.
+// trackRule registers an installed rule in the tracked-rule index. Rules
+// sharing one exact key chain behind the index's head handle in insertion
+// order.
 func (s *Switch) trackRule(r *flowtable.Rule) {
 	if k, ok := flowtable.ExactKey(&r.Match); ok {
-		if s.byKey == nil {
-			// Size for the full hierarchy up front: probing installs run
-			// straight to capacity, and incremental map growth would double
-			// the rehash traffic. "Virtually unlimited" software tables are
-			// capped — they never actually fill.
-			hint := s.profile.TCAM.CapacityNarrow + s.profile.softwareCap()
-			if hint > 2048 {
-				hint = 2048
-			}
-			s.byKey = make(map[uint64]bucket, hint)
+		h := r.Ext
+		head := s.exact.get(k)
+		if head == 0 {
+			s.exact.put(k, h)
+			return
 		}
-		e := entryOf(r)
-		b := s.byKey[k]
-		if b.one == nil {
-			b.one = e
-		} else {
-			b.more = append(b.more, e)
+		tail := &s.entries[head]
+		for tail.nextKey != 0 {
+			tail = &s.entries[tail.nextKey]
 		}
-		s.byKey[k] = b
+		tail.nextKey = h
 		return
 	}
 	s.wildTracked = append(s.wildTracked, r)
 }
 
-// untrackRule removes r from the tracked-rule index.
+// untrackRule removes r from the tracked-rule index, unlinking it from its
+// key chain (and updating or deleting the index head as needed).
 func (s *Switch) untrackRule(r *flowtable.Rule) {
 	if k, ok := flowtable.ExactKey(&r.Match); ok {
-		b := s.byKey[k]
-		if b.one != nil && b.one.rule == r {
-			if n := len(b.more); n > 0 {
-				b.one, b.more = b.more[n-1], b.more[:n-1]
-				s.byKey[k] = b
-			} else {
-				delete(s.byKey, k)
-			}
+		h := r.Ext
+		e := s.entryAt(h)
+		if e == nil {
 			return
 		}
-		for i, ee := range b.more {
-			if ee.rule == r {
-				b.more = append(b.more[:i], b.more[i+1:]...)
-				s.byKey[k] = b
+		head := s.exact.get(k)
+		if head == h {
+			if e.nextKey != 0 {
+				s.exact.set(k, e.nextKey)
+			} else {
+				s.exact.del(k)
+			}
+			e.nextKey = 0
+			return
+		}
+		for prev := head; prev != 0; {
+			pe := &s.entries[prev]
+			if pe.nextKey == h {
+				pe.nextKey = e.nextKey
+				e.nextKey = 0
 				return
 			}
+			prev = pe.nextKey
 		}
 		return
 	}
@@ -356,13 +353,15 @@ func (s *Switch) untrackRule(r *flowtable.Rule) {
 	}
 }
 
-// forEachTracked visits every tracked rule. Visit order is unspecified, as
-// it was when tracking lived in a pointer-keyed map.
+// forEachTracked visits every tracked rule. Visit order is deterministic
+// (index slot order, then chain order, then the wild residue) but otherwise
+// unspecified, as it was when tracking lived in a map.
 func (s *Switch) forEachTracked(fn func(r *flowtable.Rule)) {
-	for _, b := range s.byKey {
-		fn(b.one.rule)
-		for _, ee := range b.more {
-			fn(ee.rule)
+	for _, h := range s.exact.slots {
+		for h != 0 {
+			e := &s.entries[h]
+			fn(e.rule)
+			h = e.nextKey
 		}
 	}
 	for _, r := range s.wildTracked {
@@ -387,11 +386,13 @@ func (s *Switch) Reset() {
 		s.software = &flowtable.Table{Capacity: s.profile.softwareCap()}
 	case ManageMicroflow:
 		s.software = &flowtable.Table{Capacity: s.profile.softwareCap()}
-		s.kernel = make(map[packet.FiveTuple]*kernelEntry)
+		for k := range s.kernel {
+			delete(s.kernel, k)
+		}
 	}
-	s.byKey = nil
-	s.wildTracked = nil
-	s.arena, s.arenaUsed = nil, 0
+	s.exact.reset()
+	s.wildTracked = s.wildTracked[:0]
+	s.resetArena()
 	s.initIndexes()
 	s.defaultRule = nil
 	s.haveLastAdd, s.haveLastOp = false, false
@@ -500,8 +501,8 @@ func (s *Switch) chargeAdd(priority uint16, shifted int) {
 }
 
 func (s *Switch) add(fm *openflow.FlowMod) error {
-	re := s.newRuleEntry()
-	rule := &re.r
+	h, e := s.allocEntry()
+	rule := s.newRule()
 	rule.Match = fm.Match
 	rule.Priority = fm.Priority
 	rule.Actions = fm.Actions
@@ -509,8 +510,7 @@ func (s *Switch) add(fm *openflow.FlowMod) error {
 	rule.IdleTimeout = fm.IdleTimeout
 	rule.HardTimeout = fm.HardTimeout
 	rule.SendFlowRem = fm.Flags&openflow.FlagSendFlowRem != 0
-	e := &re.e
-	e.rule, e.insertSeq, e.heapIdx = rule, s.nextEvent(), -1
+	e.rule, e.insertSeq = rule, s.nextEvent()
 	e.useSeq = e.insertSeq
 	now := s.clock.Now()
 
@@ -520,6 +520,8 @@ func (s *Switch) add(fm *openflow.FlowMod) error {
 		if _, err := s.tcam.Insert(rule, now); err != nil {
 			// Rejections are fast: the agent fails before touching hardware.
 			s.clock.Sleep(s.profile.Costs.opCost(s.rng, s.profile.Costs.AddBase))
+			s.freeEntry(e)
+			s.freeRule(rule)
 			return ErrTableFull
 		}
 		s.chargeAdd(fm.Priority, shifted)
@@ -527,17 +529,21 @@ func (s *Switch) add(fm *openflow.FlowMod) error {
 
 	case ManagePolicyCache:
 		if err := s.addPolicyCache(rule, e, now); err != nil {
+			s.freeEntry(e)
+			s.freeRule(rule)
 			return err
 		}
 
 	case ManageMicroflow:
 		if _, err := s.software.Insert(rule, now); err != nil {
 			s.clock.Sleep(s.profile.Costs.opCost(s.rng, s.profile.Costs.AddBase))
+			s.freeEntry(e)
+			s.freeRule(rule)
 			return ErrTableFull
 		}
 		s.clock.Sleep(s.profile.Costs.opCost(s.rng, s.profile.Costs.AddBase))
 	}
-	rule.Ext = e
+	rule.Ext = h
 	s.trackRule(rule)
 	s.scheduleExpiry(rule, s.clock.Now())
 	return nil
@@ -615,7 +621,7 @@ func (s *Switch) tcamAdmits(w flowtable.Width) bool {
 // reference implementation's full scan (worstTCAMEntryNaive).
 func (s *Switch) worstTCAMEntry() *entry {
 	if s.evictIdx != nil {
-		return s.evictIdx.peek()
+		return s.evictIdx.peek(s.entries)
 	}
 	return s.worstTCAMEntryNaive()
 }
@@ -721,14 +727,12 @@ func (s *Switch) locate(m *flowtable.Match, priority uint16) *flowtable.Rule {
 		}
 	}
 	if k, ok := flowtable.ExactKey(m); ok {
-		b := s.byKey[k]
-		if b.one != nil && b.one.rule.Priority == priority && b.one.rule.Match.Same(m) {
-			return b.one.rule
-		}
-		for _, ee := range b.more {
-			if ee.rule.Priority == priority && ee.rule.Match.Same(m) {
-				return ee.rule
+		for h := s.exact.get(k); h != 0; {
+			e := &s.entries[h]
+			if e.rule.Priority == priority && e.rule.Match.Same(m) {
+				return e.rule
 			}
+			h = e.nextKey
 		}
 		return nil
 	}
@@ -760,11 +764,12 @@ func (s *Switch) delete(fm *openflow.FlowMod) error {
 		// An exact (src/32, dst/32) delete match can only hit rules pinning
 		// the same address pair — strict by definition, non-strict because
 		// Covers requires the victim's prefixes to sit inside the /32s. So
-		// the victims all live in one byKey bucket, which turns the dominant
-		// cost of bulk rule churn (a full tracked-rule scan per delete) into
-		// a handful of comparisons.
-		b := s.byKey[k]
-		match := func(r *flowtable.Rule) {
+		// the victims all chain behind one exact-index head (same-bucket
+		// keys), which turns the dominant cost of bulk rule churn (a full
+		// tracked-rule scan per delete) into a handful of comparisons.
+		for h := s.exact.get(k); h != 0; {
+			e := &s.entries[h]
+			r := e.rule
 			if strict {
 				if r.Priority == fm.Priority && r.Match.Same(&fm.Match) {
 					victims = append(victims, r)
@@ -772,12 +777,7 @@ func (s *Switch) delete(fm *openflow.FlowMod) error {
 			} else if fm.Match.Covers(&r.Match) {
 				victims = append(victims, r)
 			}
-		}
-		if b.one != nil {
-			match(b.one.rule)
-		}
-		for _, ee := range b.more {
-			match(ee.rule)
+			h = e.nextKey
 		}
 	} else if strict {
 		for _, r := range s.wildTracked {
@@ -808,16 +808,23 @@ func (s *Switch) delete(fm *openflow.FlowMod) error {
 }
 
 func (s *Switch) removeRule(r *flowtable.Rule) {
-	e := entryOf(r)
+	e := s.entryOf(r)
 	s.untrackRule(r)
 	if e != nil {
 		s.untrack(e)
 		s.customRemove(e)
 	}
 	s.invalidateKernel(r)
-	r.Ext = nil
+	r.Ext = 0
+	if r == s.defaultRule {
+		// The rule's storage recycles below; a dangling default pointer
+		// would alias whatever rule reuses the slot.
+		s.defaultRule = nil
+	}
 	if e != nil && e.inTCAM {
 		s.tcam.Remove(r)
+		s.freeEntry(e)
+		s.freeRule(r)
 		// A freed TCAM slot is refilled by the best software resident —
 		// Switch #1 "pushes the oldest software entry into TCAM whenever an
 		// empty slot is available"; under other policies the policy-best
@@ -828,6 +835,10 @@ func (s *Switch) removeRule(r *flowtable.Rule) {
 	if s.software != nil {
 		s.software.Remove(r)
 	}
+	if e != nil {
+		s.freeEntry(e)
+	}
+	s.freeRule(r)
 }
 
 // refillTCAM promotes policy-best software entries while TCAM space allows.
@@ -850,7 +861,7 @@ func (s *Switch) refillTCAM() {
 // the root of the promotion index when one is maintained.
 func (s *Switch) bestSoftwareEntry() *entry {
 	if s.promoteIdx != nil {
-		return s.promoteIdx.peek()
+		return s.promoteIdx.peek(s.entries)
 	}
 	return s.bestSoftwareEntryNaive()
 }
@@ -862,9 +873,9 @@ func (s *Switch) invalidateKernel(r *flowtable.Rule) {
 	if s.kernel == nil {
 		return
 	}
-	if e := entryOf(r); e != nil {
+	if e := s.entryOf(r); e != nil {
 		for _, ft := range e.kernelKeys {
-			if ke, ok := s.kernel[ft]; ok && ke.owner == e {
+			if ke, ok := s.kernel[ft]; ok && ke.owner == e.self {
 				delete(s.kernel, ft)
 			}
 		}
@@ -872,7 +883,7 @@ func (s *Switch) invalidateKernel(r *flowtable.Rule) {
 		return
 	}
 	for ft, ke := range s.kernel {
-		if ke.owner.rule == r {
+		if oe := s.entryAt(ke.owner); oe != nil && oe.rule == r {
 			delete(s.kernel, ft)
 		}
 	}
@@ -898,11 +909,12 @@ func (s *Switch) SendPacketN(data []byte, inPort uint16, n int) (Result, error) 
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.expireLocked(s.clock.Now())
+	now := s.clock.Now()
+	s.expireLocked(now)
 	if err := packet.DecodeInto(&s.frame, data); err != nil {
 		return Result{}, err
 	}
-	return s.sendLocked(&s.frame, inPort, len(data), n), nil
+	return s.sendLocked(&s.frame, inPort, len(data), n, now), nil
 }
 
 // SendFrameN is SendPacketN for a frame the caller already decoded (size is
@@ -917,16 +929,19 @@ func (s *Switch) SendFrameN(f *packet.Frame, inPort uint16, size, n int) (Result
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.expireLocked(s.clock.Now())
-	return s.sendLocked(f, inPort, size, n), nil
+	now := s.clock.Now()
+	s.expireLocked(now)
+	return s.sendLocked(f, inPort, size, n, now), nil
 }
 
 // sendLocked injects an n-packet burst of the decoded frame. Callers hold
-// s.mu and have already run the expiry sweep.
-func (s *Switch) sendLocked(f *packet.Frame, inPort uint16, size, n int) Result {
+// s.mu, have already run the expiry sweep, and pass the clock reading that
+// sweep used — nothing between the sweep and the pipeline advances the
+// clock, so reading it again per packet would only cost time.
+func (s *Switch) sendLocked(f *packet.Frame, inPort uint16, size, n int, now time.Time) Result {
 	s.stats.PacketsSeen += uint64(n)
 	s.tel.packets.Add(int64(n))
-	res := s.pipeline(f, inPort, size)
+	res := s.pipeline(f, inPort, size, now)
 	if s.detector != nil {
 		key, ok := flowtable.FrameKey(f)
 		s.observeFrame(key, ok, res.Path)
@@ -934,7 +949,7 @@ func (s *Switch) sendLocked(f *packet.Frame, inPort uint16, size, n int) Result 
 	if n > 1 {
 		// Account the remaining n-1 touches on the matched rule.
 		if res.Rule != nil {
-			e := entryOf(res.Rule)
+			e := s.entryOf(res.Rule)
 			res.Rule.Packets += uint64(n - 1)
 			res.Rule.Bytes += uint64((n - 1) * size)
 			if e != nil {
@@ -957,8 +972,7 @@ func (s *Switch) sendLocked(f *packet.Frame, inPort uint16, size, n int) Result 
 }
 
 // pipeline runs the frame through the table hierarchy.
-func (s *Switch) pipeline(f *packet.Frame, inPort uint16, size int) Result {
-	now := s.clock.Now()
+func (s *Switch) pipeline(f *packet.Frame, inPort uint16, size int, now time.Time) Result {
 	switch s.profile.Kind {
 	case ManageMicroflow:
 		return s.microflowPipeline(f, inPort, size, now)
@@ -972,11 +986,11 @@ func (s *Switch) hardwarePipeline(f *packet.Frame, inPort uint16, size int, now 
 		return res
 	}
 	if r := s.tcam.Lookup(f, inPort); r != nil && r != s.defaultRule {
-		return s.tcamHit(entryOf(r), r, size, now)
+		return s.tcamHit(s.entryOf(r), r, size, now)
 	}
 	if s.software != nil {
 		if r := s.software.Lookup(f, inPort); r != nil {
-			return s.softHit(entryOf(r), r, size, now)
+			return s.softHit(s.entryOf(r), r, size, now)
 		}
 	}
 	return s.punt()
@@ -984,12 +998,12 @@ func (s *Switch) hardwarePipeline(f *packet.Frame, inPort uint16, size int, now 
 
 // classifyExact short-circuits the per-tier lookups for the dominant probing
 // workload: every installed rule an exact IPv4 match, at most the priority-0
-// default route wild. The switch-wide byKey index then answers the whole
-// classification with one map probe — a frame's key selects the only rule in
-// either table that could match it — instead of two table lookups that each
-// rehash the key. ok=false defers to the reference tier walk whenever the
-// workload leaves the fast path's assumptions (other wild rules, key shared
-// by several rules, ambiguity against the default route).
+// default route wild. The switch-wide exact index then answers the whole
+// classification with one open-addressing probe — a frame's key selects the
+// only rule in either table that could match it — instead of two table
+// lookups that each rehash the key. ok=false defers to the reference tier
+// walk whenever the workload leaves the fast path's assumptions (other wild
+// rules, key shared by several rules, ambiguity against the default route).
 func (s *Switch) classifyExact(f *packet.Frame, inPort uint16, size int, now time.Time) (Result, bool) {
 	softWild := 0
 	if s.software != nil {
@@ -1014,16 +1028,16 @@ func (s *Switch) classifyExact(f *packet.Frame, inPort uint16, size int, now tim
 		// Non-IPv4 frames cannot match exact-indexed rules.
 		return s.punt(), true
 	}
-	b := s.byKey[k]
-	if b.one == nil {
+	h := s.exact.get(k)
+	if h == 0 {
 		return s.punt(), true
 	}
-	if len(b.more) > 0 {
-		// Duplicate-add phantoms share the resident's bucket; let the
+	e := &s.entries[h]
+	if e.nextKey != 0 {
+		// Duplicate-add phantoms chain behind the resident's key; let the
 		// reference path disambiguate.
 		return Result{}, false
 	}
-	e := b.one
 	r := e.rule
 	if defaultOnly && r.Priority <= s.defaultRule.Priority {
 		return Result{}, false
@@ -1130,8 +1144,10 @@ func (s *Switch) microflowPipeline(f *packet.Frame, inPort uint16, size int, now
 	if ftOK {
 		if ke, hit := s.kernel[ft]; hit {
 			ke.useSeq = s.nextEvent()
-			s.touch(ke.owner, ke.owner.rule, size, now)
-			r := ke.owner.rule
+			s.kernel[ft] = ke
+			owner := s.entryAt(ke.owner)
+			r := owner.rule
+			s.touch(owner, r, size, now)
 			if isController(r) {
 				s.stats.ControlMiss++
 				s.tel.controlMiss.Add(1)
@@ -1143,7 +1159,7 @@ func (s *Switch) microflowPipeline(f *packet.Frame, inPort uint16, size int, now
 		}
 	}
 	if r := s.software.Lookup(f, inPort); r != nil {
-		e := entryOf(r)
+		e := s.entryOf(r)
 		s.touch(e, r, size, now)
 		if isController(r) {
 			s.stats.ControlMiss++
@@ -1153,7 +1169,7 @@ func (s *Switch) microflowPipeline(f *packet.Frame, inPort uint16, size int, now
 		// Install the exact-match microflow entry so the flow's next packet
 		// takes the kernel fast path (the 1-to-N user→kernel mapping).
 		if ftOK {
-			s.kernel[ft] = &kernelEntry{owner: e, useSeq: s.nextEvent()}
+			s.kernel[ft] = kernelEntry{owner: r.Ext, useSeq: s.nextEvent()}
 			if e != nil {
 				e.kernelKeys = append(e.kernelKeys, ft)
 			}
@@ -1176,13 +1192,14 @@ func (s *Switch) evictKernelIfNeeded() {
 		return
 	}
 	var victimKey packet.FiveTuple
-	var victim *kernelEntry
+	var victimSeq uint64
+	found := false
 	for k, ke := range s.kernel {
-		if victim == nil || ke.useSeq < victim.useSeq {
-			victim, victimKey = ke, k
+		if !found || ke.useSeq < victimSeq {
+			found, victimSeq, victimKey = true, ke.useSeq, k
 		}
 	}
-	if victim != nil {
+	if found {
 		delete(s.kernel, victimKey)
 		s.stats.Evictions++
 		s.tel.evictions.Add(1)
@@ -1228,7 +1245,7 @@ func (s *Switch) InTCAM(m *flowtable.Match, priority uint16) bool {
 	if r == nil {
 		return false
 	}
-	e := entryOf(r)
+	e := s.entryOf(r)
 	return e != nil && e.inTCAM
 }
 
