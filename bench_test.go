@@ -20,6 +20,7 @@ import (
 	"tango/internal/conformance"
 	"tango/internal/core/sched"
 	"tango/internal/experiments"
+	"tango/internal/scale"
 	"tango/internal/telemetry"
 )
 
@@ -300,6 +301,34 @@ func BenchmarkFigure12(b *testing.B) {
 		improve = cell(b, t.Rows[1][2])
 	}
 	b.ReportMetric(improve, "improv-%")
+}
+
+// BenchmarkScaleHarness runs the B4-wide sharded scale harness at full
+// scale: ≥1M resident flow rules across 12 goroutine-parallel sites, live
+// timeout churn, TE re-allocation rounds, a link-failure storm, and size
+// inference running concurrently, with epoch barriers keeping the outcome
+// bit-identical to a serial run (TestScaleShardedDifferential). Headline
+// metrics: resident flows, discrete events per wall second, and the p99
+// emulated probe RTT.
+func BenchmarkScaleHarness(b *testing.B) {
+	var res *scale.Result
+	for i := 0; i < b.N; i++ {
+		r, err := scale.Run(scale.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.FlowsResident < 1<<20 {
+			b.Fatalf("FlowsResident = %d, want >= %d", r.FlowsResident, 1<<20)
+		}
+		if r.Errs != 0 || r.TableFull != 0 {
+			b.Fatalf("errs=%d tableFull=%d, want 0", r.Errs, r.TableFull)
+		}
+		res = r
+	}
+	b.ReportMetric(float64(res.FlowsResident), "flows-resident")
+	b.ReportMetric(res.EventsPerSec, "events/sec")
+	b.ReportMetric(float64(res.P99ProbeRTT)/float64(time.Millisecond), "p99-probe-rtt-ms")
+	b.ReportMetric(float64(res.TableFull), "table-full")
 }
 
 // BenchmarkTelemetryVecRecord measures the labeled hot path end to end as

@@ -82,6 +82,7 @@ func catalog(faultSpec string) []experiment {
 		{"overflow", "Overflow-inference attack scenarios (timing channel + detector)", tab(experiments.Overflow)},
 		{"churn", "Heavy-churn scenarios (inference under timeout expiry)", tab(experiments.ChurnScenarios)},
 		{"altpolicy", "Non-LEX cache policies (classify-or-reject)", tab(experiments.AltPolicy)},
+		{"scale", "B4-wide sharded scale harness (honours -scale-flows, -scale-shards)", tab(experiments.Scale)},
 		{"conformance", "Ground-truth inference conformance harness (honours -faults)", func(int) []fmt.Stringer {
 			t, err := experiments.Conformance(24, 1, faultSpec)
 			if err != nil {
@@ -104,12 +105,16 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "run up to this many experiments concurrently (0 = GOMAXPROCS); output order is unchanged")
 		schedWork  = flag.Int("sched-workers", 0, "worker pool size for per-switch batches inside the scheduling experiments (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		inferWork  = flag.Int("infer-workers", 0, "worker pool size for per-profile cells inside the inference experiments (table1, sizeacc, policyacc, reported) (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+		scaleFlows = flag.Int("scale-flows", 0, "resident-flow target for the scale experiment (0 = harness default, 1<<20)")
+		scaleShard = flag.Int("scale-shards", 0, "shard count for the scale experiment (0 = one shard per B4 site); results are identical at any setting")
 		tcli       telemetry.CLI
 	)
 	tcli.BindFlags(flag.CommandLine)
 	flag.Parse()
 	experiments.SchedWorkers = *schedWork
 	experiments.InferWorkers = *inferWork
+	experiments.ScaleFlows = *scaleFlows
+	experiments.ScaleShards = *scaleShard
 
 	if _, err := faults.ParseSpec(*faultSpec); err != nil {
 		fmt.Fprintf(os.Stderr, "tangobench: -faults: %v\n", err)

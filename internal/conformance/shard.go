@@ -1,0 +1,34 @@
+package conformance
+
+import "tango/internal/workload"
+
+// shard.go adapts the background-driver machinery to the sharded scale
+// harness. Backgrounds are stateful and single-goroutine by design (they
+// step synchronously at foreground-op entry on the device's own clock), so
+// a sharded run gives every shard its *own* driver over its *own* slice of
+// the fleet schedule rather than sharing one driver behind a lock — locking
+// would serialise the shards and, worse, make the interleaving depend on
+// wall-clock scheduling, breaking the serial-vs-sharded differential gates.
+
+// ShardSchedule partitions a fleet-wide churn schedule across n shards by
+// flow ID (ev.Flow mod n), preserving event order within each shard. The
+// partition is flow-disjoint: every flow's full history — install, touches,
+// the timeouts that drive expiry — lands on exactly one shard, so a
+// per-shard ChurnDriver stepped against that shard's device replays the
+// same per-flow sequence the single serial driver would. Changing n
+// redistributes flows over devices but never reorders or splits a flow's
+// history, which is what keeps sharded runs bit-identical per device at
+// every shard count that assigns devices the same way.
+//
+// n <= 1 returns the schedule unsplit (one shard).
+func ShardSchedule(events []workload.ChurnEvent, n int) [][]workload.ChurnEvent {
+	if n <= 1 {
+		return [][]workload.ChurnEvent{events}
+	}
+	shards := make([][]workload.ChurnEvent, n)
+	for _, ev := range events {
+		i := int(ev.Flow % uint32(n))
+		shards[i] = append(shards[i], ev)
+	}
+	return shards
+}

@@ -1,0 +1,51 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"tango/internal/workload"
+)
+
+func TestShardScheduleFlowDisjointAndOrdered(t *testing.T) {
+	events := workload.Churn(workload.ChurnOptions{
+		Rate: 50, Duration: 20 * time.Second, Flows: 64, Seed: 7,
+	})
+	if len(events) == 0 {
+		t.Fatal("empty schedule")
+	}
+	for _, n := range []int{1, 3, 12} {
+		shards := ShardSchedule(events, n)
+		if len(shards) != max(n, 1) {
+			t.Fatalf("n=%d: got %d shards", n, len(shards))
+		}
+		total := 0
+		seen := map[uint32]int{}
+		for i, sh := range shards {
+			total += len(sh)
+			for j, ev := range sh {
+				if owner, ok := seen[ev.Flow]; ok && owner != i {
+					t.Fatalf("n=%d: flow %d on shards %d and %d", n, ev.Flow, owner, i)
+				}
+				seen[ev.Flow] = i
+				if j > 0 && sh[j-1].At > ev.At {
+					t.Fatalf("n=%d shard %d: events out of order", n, i)
+				}
+			}
+		}
+		if total != len(events) {
+			t.Fatalf("n=%d: %d events after sharding, want %d", n, total, len(events))
+		}
+	}
+}
+
+func TestShardScheduleSingleShardIsIdentity(t *testing.T) {
+	events := workload.Churn(workload.ChurnOptions{
+		Rate: 10, Duration: 5 * time.Second, Seed: 1,
+	})
+	shards := ShardSchedule(events, 0)
+	if len(shards) != 1 || !reflect.DeepEqual(shards[0], events) {
+		t.Fatal("n<=1 must return the schedule unsplit")
+	}
+}

@@ -1,6 +1,7 @@
 package packet
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net/netip"
 )
@@ -173,11 +174,23 @@ func BuildProbe(spec ProbeSpec) ([]byte, error) {
 // AppendBuildProbe appends the probe frame for spec to b and returns the
 // extended slice; with a pre-sized b it mints the frame without allocating.
 func AppendBuildProbe(b []byte, spec ProbeSpec) ([]byte, error) {
+	var f Frame
+	BuildProbeFrame(&f, spec)
+	return f.AppendSerialize(b)
+}
+
+// BuildProbeFrame fills f in place with the decoded form of the probe frame
+// for spec — the same Frame a DecodeInto of BuildProbe's wire bytes would
+// yield, including the derived IPv4 length and the packed address word the
+// exact-match fast path keys on. In-process senders (FrameDevice, the scale
+// harness' pooled per-shard frames) mint frames this way and skip the
+// encode/decode round trip entirely.
+func BuildProbeFrame(f *Frame, spec ProbeSpec) {
 	proto := spec.Proto
 	if proto == 0 {
 		proto = IPProtocolTCP
 	}
-	f := Frame{
+	*f = Frame{
 		Eth: Ethernet{
 			Dst:       MACFromUint64(0x0200_0000_0000 | uint64(spec.FlowID)),
 			Src:       MACFromUint64(0x0200_0100_0000 | uint64(spec.FlowID)),
@@ -193,13 +206,22 @@ func AppendBuildProbe(b []byte, spec ProbeSpec) ([]byte, error) {
 		},
 		Payload: spec.Payload,
 	}
+	l4len := len(spec.Payload)
 	switch proto {
 	case IPProtocolTCP:
 		f.HasTCP = true
 		f.TCP = TCP{SrcPort: 1024 + uint16(spec.FlowID%50000), DstPort: 80, Window: 65535}
+		l4len += tcpHeaderLen
 	case IPProtocolUDP:
 		f.HasUDP = true
-		f.UDP = UDP{SrcPort: 1024 + uint16(spec.FlowID%50000), DstPort: 53}
+		f.UDP = UDP{
+			SrcPort: 1024 + uint16(spec.FlowID%50000),
+			DstPort: 53,
+			Length:  uint16(udpHeaderLen + len(spec.Payload)),
+		}
+		l4len += udpHeaderLen
 	}
-	return f.AppendSerialize(b)
+	f.IP.Length = uint16(ipv4HeaderLen + l4len)
+	src, dst := f.IP.Src.As4(), f.IP.Dst.As4()
+	f.IP.addrWord = uint64(binary.BigEndian.Uint32(src[:]))<<32 | uint64(binary.BigEndian.Uint32(dst[:]))
 }

@@ -3,6 +3,7 @@ package packet
 import (
 	"bytes"
 	"net/netip"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -274,6 +275,39 @@ func TestDecodeRobustness(t *testing.T) {
 		return true // any outcome fine, just must not panic
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BuildProbeFrame's in-place decoded form is exactly what decoding
+// BuildProbe's wire bytes yields — the scale harness pools these frames and
+// feeds them straight to SendFrameN, so any divergence would break the
+// encode-path/decode-path equivalence the differential gates rely on.
+func TestBuildProbeFrameMatchesDecode(t *testing.T) {
+	f := func(id uint32, udp bool, payload []byte) bool {
+		spec := ProbeSpec{FlowID: id % 2_000_000, Payload: payload}
+		if len(payload) == 0 {
+			// Decode represents an absent payload as an empty non-nil
+			// slice; pin a canonical non-empty payload instead of testing
+			// nil-vs-empty representation.
+			spec.Payload = []byte{0xab}
+		}
+		if udp {
+			spec.Proto = IPProtocolUDP
+		}
+		raw, err := BuildProbe(spec)
+		if err != nil {
+			return false
+		}
+		decoded, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		var built Frame
+		BuildProbeFrame(&built, spec)
+		return reflect.DeepEqual(&built, decoded)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
 }

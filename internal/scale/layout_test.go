@@ -1,0 +1,22 @@
+package scale
+
+import (
+	"testing"
+
+	"tango/internal/structlayout"
+)
+
+// TestHotStructLayouts gates the harness' per-event structs on zero padding
+// waste, mirroring the switchsim arena gate: opSpecs are appended by the
+// thousand per storm epoch and a tally lives in every site.
+func TestHotStructLayouts(t *testing.T) {
+	for _, v := range []interface{}{
+		opSpec{},
+		tally{},
+		pairInfo{},
+	} {
+		if err := structlayout.Check(v); err != nil {
+			t.Error(err)
+		}
+	}
+}

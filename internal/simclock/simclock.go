@@ -21,6 +21,10 @@ type Clock interface {
 	Sleep(d time.Duration)
 }
 
+// cacheLine is the assumed CPU cache-line size. 64 bytes is correct for
+// every amd64 and most arm64 parts; being wrong only costs padding.
+const cacheLine = 64
+
 // Virtual is a manually advanced clock. The zero value is ready to use and
 // starts at the zero time.Time; most callers prefer NewVirtual, which starts
 // at a fixed, recognisable epoch.
@@ -29,9 +33,18 @@ type Clock interface {
 // emulator reads and advances it on every simulated packet, so Now/Sleep must
 // not take a lock of their own (the ~50 ns mutex pair showed up as several
 // percent of the probing benchmarks).
+//
+// The offset word is padded out to its own cache line. Sharded scale runs
+// keep one Virtual per shard in a contiguous slice (Group); without the
+// padding, neighbouring shards' offsets share a line and every Sleep
+// invalidates the other shards' cached copies — classic false sharing, which
+// dominates once a dozen shards hammer their clocks millions of times per
+// second (see BenchmarkVirtualNowParallel for the before/after).
 type Virtual struct {
 	base time.Time
-	off  atomic.Int64 // nanoseconds since base
+	_    [cacheLine - 24]byte // time.Time is 24 bytes; start off on a fresh line
+	off  atomic.Int64         // nanoseconds since base
+	_    [cacheLine - 8]byte  // keep the next struct off this line too
 }
 
 // Epoch is the starting instant of clocks returned by NewVirtual. The exact

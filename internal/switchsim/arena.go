@@ -62,7 +62,7 @@ func (s *Switch) allocEntry() (int32, *entry) {
 		s.freeEnts = s.freeEnts[:n-1]
 		e := &s.entries[h]
 		kk := e.kernelKeys[:0] // slot reuse keeps the key slice's capacity
-		*e = entry{kernelKeys: kk, self: h, heapIdx: noHeap}
+		*e = entry{kernelKeys: kk, self: h, heapIdx: noHeap, timedIdx: noTimed}
 		return h, e
 	}
 	if s.entries == nil {
@@ -70,14 +70,17 @@ func (s *Switch) allocEntry() (int32, *entry) {
 		s.entries = make([]entry, 1, 1+ruleSlabSize)
 	}
 	h := int32(len(s.entries))
-	s.entries = append(s.entries, entry{self: h, heapIdx: noHeap})
+	s.entries = append(s.entries, entry{self: h, heapIdx: noHeap, timedIdx: noTimed})
 	return h, &s.entries[h]
 }
 
 // freeEntry returns e's slot to the free list. The slot's self field is
 // zeroed so stale handles fail entryAt's identity check; the kernel-key
-// slice keeps its capacity for the slot's next tenant.
+// slice keeps its capacity for the slot's next tenant. Timed entries
+// swap-remove themselves from the expiry list first, keeping the invariant
+// that timedEnts holds only live handles.
 func (s *Switch) freeEntry(e *entry) {
+	s.untimeEntry(e)
 	h := e.self
 	kk := e.kernelKeys[:0]
 	*e = entry{kernelKeys: kk}
@@ -121,6 +124,7 @@ func (s *Switch) freeRule(r *flowtable.Rule) {
 // one per reset. Free-list order is rebuilt descending so post-reset adds
 // reuse handles in ascending order, keeping replays deterministic.
 func (s *Switch) resetArena() {
+	s.timedEnts = s.timedEnts[:0]
 	s.freeEnts = s.freeEnts[:0]
 	for i := len(s.entries) - 1; i >= 1; i-- {
 		e := &s.entries[i]

@@ -10,19 +10,45 @@ import (
 // expiry.go implements idle and hard flow timeouts with FLOW_REMOVED
 // notifications. Expiry is swept lazily: the switch tracks the earliest
 // possible deadline across rules that carry timeouts and only walks the
-// rule set when the virtual clock passes it, so workloads without timeouts
-// (all probing patterns) pay nothing.
+// timed-rule list when the virtual clock passes it. Workloads without
+// timeouts (all probing patterns) pay nothing, and — critical at fleet
+// scale — a table holding a million permanent residents plus a few hundred
+// churning timed rules sweeps only the few hundred, not the million.
 
-// scheduleExpiry records that a rule with timeouts exists, updating the
-// next sweep deadline. Callers hold s.mu.
+// noTimed is the timedIdx sentinel for "not in the timed-rule list".
+const noTimed int32 = -1
+
+// scheduleExpiry records that a rule with timeouts exists: the rule's entry
+// joins the timed-rule list (once) and the next sweep deadline is pulled
+// forward. Callers hold s.mu and have set r.Ext.
 func (s *Switch) scheduleExpiry(r *flowtable.Rule, now time.Time) {
 	d := ruleDeadline(r, now)
 	if d.IsZero() {
 		return
 	}
+	if e := s.entryAt(r.Ext); e != nil && e.timedIdx == noTimed {
+		e.timedIdx = int32(len(s.timedEnts))
+		s.timedEnts = append(s.timedEnts, e.self)
+	}
 	if s.nextExpiry.IsZero() || d.Before(s.nextExpiry) {
 		s.nextExpiry = d
 	}
+}
+
+// untimeEntry swap-removes e from the timed-rule list. Callers hold s.mu.
+func (s *Switch) untimeEntry(e *entry) {
+	i := e.timedIdx
+	if i == noTimed {
+		return
+	}
+	e.timedIdx = noTimed
+	last := len(s.timedEnts) - 1
+	if int(i) != last {
+		moved := s.timedEnts[last]
+		s.timedEnts[i] = moved
+		s.entries[moved].timedIdx = i
+	}
+	s.timedEnts = s.timedEnts[:last]
 }
 
 // ruleDeadline returns the earliest instant at which r could expire, or the
@@ -51,10 +77,12 @@ func (s *Switch) expireLocked(now time.Time) {
 	s.nextExpiry = time.Time{}
 	var victims []*flowtable.Rule
 	var reasons []uint8
-	s.forEachTracked(func(r *flowtable.Rule) {
-		if r.HardTimeout == 0 && r.IdleTimeout == 0 {
-			return
-		}
+	// Walk only the timed-rule list, in schedule (install) order. Victims
+	// are collected first — removeRule below unlinks them via freeEntry, so
+	// mutating during iteration would skip the swapped-in tail handles.
+	for _, h := range s.timedEnts {
+		e := &s.entries[h]
+		r := e.rule
 		switch {
 		case r.HardTimeout > 0 && !now.Before(r.InstalledAt.Add(time.Duration(r.HardTimeout)*time.Second)):
 			victims = append(victims, r)
@@ -69,7 +97,7 @@ func (s *Switch) expireLocked(now time.Time) {
 				s.nextExpiry = d
 			}
 		}
-	})
+	}
 	for i, r := range victims {
 		s.noteRemoved(r, reasons[i], now)
 		s.removeRule(r)

@@ -78,7 +78,12 @@ type entry struct {
 	// (duplicate-add phantoms); 0 terminates. The exact index (keyindex.go)
 	// stores only the head handle.
 	nextKey int32
-	inTCAM  bool
+	// timedIdx is the entry's position in the switch's timed-rule list
+	// (expiry.go); -1 while the rule carries no timeout. Expiry sweeps walk
+	// only that list, so million-flow tables whose residents never expire
+	// pay nothing for a handful of churning timed rules.
+	timedIdx int32
+	inTCAM   bool
 	// inSoft mirrors software-table residency the way inTCAM mirrors TCAM
 	// residency; together they let the exact-match classifier skip the
 	// per-tier table lookups.
@@ -146,6 +151,12 @@ type Switch struct {
 	freeEnts    []int32
 	exact       exactIndex
 	wildTracked []*flowtable.Rule
+
+	// timedEnts lists the handles of entries whose rules carry idle/hard
+	// timeouts, in schedule order; expiry sweeps iterate it instead of the
+	// whole tracked-rule set. Entries unlink on free via their timedIdx
+	// back-pointer (swap-remove), so the list only ever holds live handles.
+	timedEnts []int32
 
 	// Rule storage: rules need stable addresses (tables hold *Rule), so they
 	// come from append-only slabs; removed rules recycle through freeRules,

@@ -15,6 +15,10 @@ import (
 type Graph struct {
 	nodes map[string]bool
 	adj   map[string]map[string]float64 // adj[a][b] = capacity
+	// sorted caches the Nodes() result; nil means stale. The TE diff path
+	// calls Nodes per allocation round, so rebuilding the sorted slice on
+	// every call dominated MaxMinFair profiles at fleet scale.
+	sorted []string
 }
 
 // NewGraph returns an empty graph.
@@ -27,6 +31,7 @@ func (g *Graph) AddNode(name string) {
 	if !g.nodes[name] {
 		g.nodes[name] = true
 		g.adj[name] = map[string]float64{}
+		g.sorted = nil
 	}
 }
 
@@ -36,12 +41,14 @@ func (g *Graph) AddLink(a, b string, capacity float64) {
 	g.AddNode(b)
 	g.adj[a][b] = capacity
 	g.adj[b][a] = capacity
+	g.sorted = nil
 }
 
 // RemoveLink deletes the link (the LF scenario's failure event).
 func (g *Graph) RemoveLink(a, b string) {
 	delete(g.adj[a], b)
 	delete(g.adj[b], a)
+	g.sorted = nil
 }
 
 // HasLink reports whether a-b is up.
@@ -53,14 +60,18 @@ func (g *Graph) HasLink(a, b string) bool {
 // Capacity returns the link's capacity (0 if absent).
 func (g *Graph) Capacity(a, b string) float64 { return g.adj[a][b] }
 
-// Nodes returns switch names in sorted order.
+// Nodes returns switch names in sorted order. The slice is cached between
+// mutations (AddNode/AddLink/RemoveLink invalidate it) and shared across
+// calls — callers must treat it as read-only.
 func (g *Graph) Nodes() []string {
-	out := make([]string, 0, len(g.nodes))
-	for n := range g.nodes {
-		out = append(out, n)
+	if g.sorted == nil {
+		g.sorted = make([]string, 0, len(g.nodes))
+		for n := range g.nodes {
+			g.sorted = append(g.sorted, n)
+		}
+		sort.Strings(g.sorted)
 	}
-	sort.Strings(out)
-	return out
+	return g.sorted
 }
 
 // Neighbors returns a node's neighbours in sorted order.

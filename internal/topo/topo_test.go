@@ -22,6 +22,40 @@ func TestTriangle(t *testing.T) {
 	}
 }
 
+func TestNodesCacheInvalidation(t *testing.T) {
+	g := NewGraph()
+	g.AddLink("b", "a", 1)
+	first := g.Nodes()
+	if len(first) != 2 || first[0] != "a" || first[1] != "b" {
+		t.Fatalf("Nodes = %v, want [a b]", first)
+	}
+	// Repeated calls without mutation return the cached slice.
+	second := g.Nodes()
+	if &first[0] != &second[0] {
+		t.Fatal("Nodes rebuilt the slice without a mutation")
+	}
+	// AddNode of a brand-new name invalidates.
+	g.AddNode("c")
+	if got := g.Nodes(); len(got) != 3 || got[2] != "c" {
+		t.Fatalf("Nodes after AddNode = %v", got)
+	}
+	// AddLink and RemoveLink invalidate too (conservatively: RemoveLink
+	// never changes the node set, AddLink only via AddNode).
+	g.AddLink("c", "d", 1)
+	if got := g.Nodes(); len(got) != 4 || got[3] != "d" {
+		t.Fatalf("Nodes after AddLink = %v", got)
+	}
+	g.RemoveLink("c", "d")
+	if got := g.Nodes(); len(got) != 4 {
+		t.Fatalf("Nodes after RemoveLink = %v", got)
+	}
+	// Re-adding an existing node must not disturb the cache's correctness.
+	g.AddNode("a")
+	if got := g.Nodes(); len(got) != 4 || got[0] != "a" {
+		t.Fatalf("Nodes after duplicate AddNode = %v", got)
+	}
+}
+
 func TestB4Connectivity(t *testing.T) {
 	g := B4()
 	nodes := g.Nodes()

@@ -3,21 +3,22 @@
 # snapshot (ns/op plus each benchmark's custom metrics) so every PR leaves a
 # point on the perf trajectory.
 #
-#   scripts/bench.sh                           # writes BENCH_8.json
-#   OUT=BENCH_9.json BASELINE=BENCH_8.json scripts/bench.sh   # next PR
+#   scripts/bench.sh                           # writes BENCH_9.json
+#   OUT=BENCH_10.json BASELINE=BENCH_9.json scripts/bench.sh  # next PR
 #   BENCH='Table1' COUNT=5 scripts/bench.sh    # subset / more repeats
 #   BASELINE=old.json scripts/bench.sh         # embed old.json as "baseline"
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${OUT:-BENCH_8.json}
-BASELINE=${BASELINE:-BENCH_7.json}
-BENCH=${BENCH:-'Table1|SizeInference|PolicyInference|Figure3b|Figure3c|SchedRun|TangoOrder|TelemetryVecRecord|Adversarial|ClassifyExact|DemoteChurn'}
+OUT=${OUT:-BENCH_9.json}
+BASELINE=${BASELINE:-BENCH_8.json}
+BENCH=${BENCH:-'Table1|SizeInference|PolicyInference|Figure3b|Figure3c|SchedRun|TangoOrder|TelemetryVecRecord|Adversarial|ClassifyExact|DemoteChurn|ScaleHarness|VirtualNowParallel'}
 COUNT=${COUNT:-3}
 
-# The switchsim micro-benchmarks (exact-match lookup, LRU demote churn)
-# ride along with the top-level experiment benchmarks; benchjson accepts
-# the concatenated streams.
-go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . ./internal/switchsim |
+# The switchsim and simclock micro-benchmarks (exact-match lookup, LRU
+# demote churn, padded-vs-unpadded virtual clock reads) ride along with the
+# top-level experiment benchmarks; benchjson accepts the concatenated
+# streams.
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . ./internal/switchsim ./internal/simclock |
 	go run ./scripts/benchjson ${BASELINE:+-baseline "$BASELINE"} >"$OUT"
 echo "wrote $OUT"
