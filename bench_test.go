@@ -20,6 +20,8 @@ import (
 	"tango/internal/conformance"
 	"tango/internal/core/sched"
 	"tango/internal/experiments"
+	"tango/internal/fleet"
+	"tango/internal/ofconn"
 	"tango/internal/scale"
 	"tango/internal/telemetry"
 )
@@ -329,6 +331,45 @@ func BenchmarkScaleHarness(b *testing.B) {
 	b.ReportMetric(res.EventsPerSec, "events/sec")
 	b.ReportMetric(float64(res.P99ProbeRTT)/float64(time.Millisecond), "p99-probe-rtt-ms")
 	b.ReportMetric(float64(res.TableFull), "table-full")
+}
+
+// BenchmarkFleetSustained runs the continuous-inference controller service
+// at fleet scale: 248 simulated members plus 8 real-TCP members served
+// through the switchd path, every one probed, size-inferred, and cost-fitted
+// over repeated rounds on the sharded worker pool. The fold is bit-identical
+// at any worker count (TestFleetShardedDifferential). Headline metrics:
+// completed inferences per wall second, flow-mods per wall second, and the
+// p99 sentinel-probe RTT.
+func BenchmarkFleetSustained(b *testing.B) {
+	tcp, err := fleet.SpawnSimTCP(8, 1, 1e-6, ofconn.ControllerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tcp.Close()
+	var res *fleet.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := fleet.Run(fleet.Options{
+			Switches: 248,
+			Rounds:   2,
+			Seed:     1,
+			TCP:      tcp.Fleet,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := r.Switches + r.TCPSwitches; n < 256 {
+			b.Fatalf("fleet size = %d members, want >= 256", n)
+		}
+		if r.InferErrs != 0 {
+			b.Fatalf("inference errors: %d", r.InferErrs)
+		}
+		res = r
+	}
+	b.ReportMetric(float64(res.Switches+res.TCPSwitches), "switches")
+	b.ReportMetric(res.SwitchesPerSec, "switches-inferred/sec")
+	b.ReportMetric(res.FlowModsPerSec, "flow-mods/sec")
+	b.ReportMetric(float64(res.P99ProbeRTT)/float64(time.Millisecond), "p99-probe-rtt-ms")
 }
 
 // BenchmarkTelemetryVecRecord measures the labeled hot path end to end as

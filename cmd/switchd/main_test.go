@@ -1,6 +1,17 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"log"
+	"runtime"
+	"testing"
+	"time"
+
+	"tango/internal/core/infer"
+	"tango/internal/core/pattern"
+	"tango/internal/ofconn"
+	"tango/internal/telemetry"
+)
 
 func TestProfileByName(t *testing.T) {
 	for _, name := range []string{"ovs", "switch1", "switch2", "switch3", "fig5"} {
@@ -14,5 +25,87 @@ func TestProfileByName(t *testing.T) {
 	}
 	if _, err := profileByName("nope"); err == nil {
 		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestBuildServerRejectsBadConfig(t *testing.T) {
+	if _, err := buildServer(config{listen: "127.0.0.1:0", profile: "nope"}, ofconn.ServeOptions{}); err == nil {
+		t.Fatal("bad profile accepted")
+	}
+	if _, err := buildServer(config{listen: "127.0.0.1:0", profile: "switch1", faultSpec: "bogus"}, ofconn.ServeOptions{}); err == nil {
+		t.Fatal("bad fault spec accepted")
+	}
+}
+
+// TestSwitchdFleetLifecycle is the daemon's lifecycle under a fleet: three
+// switchd servers come up, an ofconn.Fleet connects and probes all of them,
+// and graceful shutdown drains every server — Serve returns nil, later ops
+// fail fast, and no server goroutine leaks.
+func TestSwitchdFleetLifecycle(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	quiet := ofconn.ServeOptions{
+		Logger:  log.New(io.Discard, "", 0),
+		Metrics: telemetry.NewRegistry(),
+	}
+	var servers []*ofconn.Server
+	serveErrs := make(chan error, 3)
+	fleet := ofconn.NewFleet()
+	defer fleet.Close()
+	for _, cfg := range []config{
+		{listen: "127.0.0.1:0", profile: "switch1", scale: 1e-6, seed: 1},
+		{listen: "127.0.0.1:0", profile: "switch2", scale: 1e-6, seed: 2},
+		{listen: "127.0.0.1:0", profile: "ovs", scale: 1e-6, seed: 3},
+	} {
+		srv, err := buildServer(cfg, quiet)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.profile, err)
+		}
+		servers = append(servers, srv)
+		go func() { serveErrs <- srv.Serve() }()
+		if err := fleet.Connect(cfg.profile, srv.Addr().String()); err != nil {
+			t.Fatalf("connect %s: %v", cfg.profile, err)
+		}
+	}
+
+	db := pattern.NewDB()
+	if err := fleet.ProbeAll(db, infer.CostOptions{Samples: 16}); err != nil {
+		t.Fatalf("ProbeAll: %v", err)
+	}
+	for _, name := range fleet.Names() {
+		if _, ok := db.Score(name); !ok {
+			t.Fatalf("no score card for %s", name)
+		}
+	}
+
+	for i, srv := range servers {
+		if err := srv.Shutdown(5 * time.Second); err != nil {
+			t.Fatalf("server %d Shutdown: %v (want graceful drain)", i, err)
+		}
+	}
+	for range servers {
+		select {
+		case err := <-serveErrs:
+			if err != nil {
+				t.Fatalf("Serve after Shutdown: %v, want nil", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Serve did not return after Shutdown")
+		}
+	}
+	// The drained daemons refuse further work.
+	if err := fleet.ProbeAll(pattern.NewDB(), infer.CostOptions{Samples: 4}); err == nil {
+		t.Fatal("ProbeAll succeeded against shut-down servers")
+	}
+	fleet.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

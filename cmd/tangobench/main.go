@@ -83,6 +83,7 @@ func catalog(faultSpec string) []experiment {
 		{"churn", "Heavy-churn scenarios (inference under timeout expiry)", tab(experiments.ChurnScenarios)},
 		{"altpolicy", "Non-LEX cache policies (classify-or-reject)", tab(experiments.AltPolicy)},
 		{"scale", "B4-wide sharded scale harness (honours -scale-flows, -scale-shards)", tab(experiments.Scale)},
+		{"fleet", "Continuous-inference fleet service (honours -fleet-switches, -fleet-workers)", tab(experiments.Fleet)},
 		{"conformance", "Ground-truth inference conformance harness (honours -faults)", func(int) []fmt.Stringer {
 			t, err := experiments.Conformance(24, 1, faultSpec)
 			if err != nil {
@@ -107,6 +108,8 @@ func main() {
 		inferWork  = flag.Int("infer-workers", 0, "worker pool size for per-profile cells inside the inference experiments (table1, sizeacc, policyacc, reported) (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		scaleFlows = flag.Int("scale-flows", 0, "resident-flow target for the scale experiment (0 = harness default, 1<<20)")
 		scaleShard = flag.Int("scale-shards", 0, "shard count for the scale experiment (0 = one shard per B4 site); results are identical at any setting")
+		fleetSw    = flag.Int("fleet-switches", 0, "simulated-member count for the fleet experiment (0 = 64)")
+		fleetWork  = flag.Int("fleet-workers", 0, "shard worker-pool size for the fleet experiment (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		tcli       telemetry.CLI
 	)
 	tcli.BindFlags(flag.CommandLine)
@@ -115,6 +118,8 @@ func main() {
 	experiments.InferWorkers = *inferWork
 	experiments.ScaleFlows = *scaleFlows
 	experiments.ScaleShards = *scaleShard
+	experiments.FleetSwitches = *fleetSw
+	experiments.FleetWorkers = *fleetWork
 
 	if _, err := faults.ParseSpec(*faultSpec); err != nil {
 		fmt.Fprintf(os.Stderr, "tangobench: -faults: %v\n", err)

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"io"
+	"log"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestTangofleetSmoke is the service smoke test from the issue: spin up a
+// small mixed fleet — including real TCP members through the switchd serve
+// path — run a fixed-round inference batch through the exact code path main
+// drives, and shut everything down without leaking goroutines.
+func TestTangofleetSmoke(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	quiet := log.New(io.Discard, "", 0)
+	cfg := fleetConfig{
+		switches: 3,
+		tcp:      2,
+		rounds:   1,
+		seed:     5,
+		maxRules: 256,
+		tcpScale: 1e-6,
+	}
+	res, err := execute(cfg, nil, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches != 3 || res.TCPSwitches != 2 {
+		t.Fatalf("members = %d sim + %d tcp, want 3 + 2", res.Switches, res.TCPSwitches)
+	}
+	if res.InferErrs != 0 {
+		t.Fatalf("inference errors: %d", res.InferErrs)
+	}
+	if res.Inferences != 5 || res.ScoreCards != 5 {
+		t.Fatalf("inferences = %d, score cards = %d, want 5 each", res.Inferences, res.ScoreCards)
+	}
+	if res.SwitchesPerSec <= 0 || res.FlowModsPerSec <= 0 {
+		t.Fatalf("rates not populated: %v switches/sec, %v flow-mods/sec",
+			res.SwitchesPerSec, res.FlowModsPerSec)
+	}
+
+	// TCP servers are gone: the deferred Close inside execute drained them.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTangofleetContinuousStops exercises the continuous-service path: the
+// fleet loops until stop closes, then execute returns the final fold.
+func TestTangofleetContinuousStops(t *testing.T) {
+	quiet := log.New(io.Discard, "", 0)
+	cfg := fleetConfig{
+		switches: 2,
+		seed:     11,
+		maxRules: 256,
+		interval: time.Millisecond, // exercise the progress ticker too
+	}
+	stop := make(chan struct{})
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		close(stop)
+	}()
+	res, err := execute(cfg, stop, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 1 {
+		t.Fatalf("service stopped after %d rounds, want >= 1", res.Rounds)
+	}
+	if res.Inferences < res.Rounds*cfg.switches {
+		t.Fatalf("inferences = %d over %d rounds of %d switches", res.Inferences, res.Rounds, cfg.switches)
+	}
+}

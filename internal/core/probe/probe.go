@@ -128,6 +128,26 @@ type cachedFrame struct {
 	buf [64]byte
 }
 
+// EngineStats is the engine's deterministic op ledger: plain counters
+// incremented at the same points as the probe.* telemetry counters, but
+// owned by the engine rather than a shared registry, so a caller that owns
+// the engine can read exact per-switch deltas (ops issued between two
+// reads) without snapshotting a registry or worrying about other engines'
+// contributions. Like the engine itself it is not safe for concurrent use;
+// cross-goroutine reads need an external happens-before (the fleet service
+// reads a member's stats only after its worker finishes the round).
+type EngineStats struct {
+	// FlowMods counts flow-mod operations issued (install/modify/delete,
+	// batched or serial).
+	FlowMods int64
+	// Probes counts measurement probes that completed without a channel
+	// error; Punted counts the subset that missed and went to the agent.
+	Probes int64
+	Punted int64
+	// Traffic counts data-plane packets sent by SendTraffic.
+	Traffic int64
+}
+
 // Engine executes patterns against one device.
 type Engine struct {
 	dev Device
@@ -181,7 +201,14 @@ type Engine struct {
 	flightRec *telemetry.FlightRecorder
 	flight    *telemetry.FlightTrack
 	label     string
+
+	// stats is the per-engine op ledger; see EngineStats.
+	stats EngineStats
 }
+
+// Stats returns the engine's op ledger since construction. Callers diff two
+// reads for per-interval deltas.
+func (e *Engine) Stats() EngineStats { return e.stats }
 
 // NewEngine returns an engine driving dev, bound to the process-wide
 // default telemetry (a no-op unless a command installed one). Devices that
@@ -266,6 +293,7 @@ func (e *Engine) Device() Device { return e.dev }
 // would leak a duplicate table slot.
 func (e *Engine) flowMod(fm *openflow.FlowMod) error {
 	e.mFlowMods.Add(1)
+	e.stats.FlowMods++
 	if !e.Retry.enabled() {
 		// Single-attempt engines skip withRetry: with retry disabled it is
 		// exactly one attempt, and the closure it would take heap-allocates
@@ -436,6 +464,7 @@ func (e *Engine) Probe(id uint32) (time.Duration, bool, error) {
 	}
 	if err == nil {
 		e.mProbes.Add(1)
+		e.stats.Probes++
 		e.hRTT.Observe(float64(rtt))
 		// Labeled/flight recording guards explicitly rather than leaning on
 		// nil-safe receivers: unlabeled engines skip the calls outright, so
@@ -448,6 +477,7 @@ func (e *Engine) Probe(id uint32) (time.Duration, bool, error) {
 		}
 		if punted {
 			e.mPunted.Add(1)
+			e.stats.Punted++
 		}
 	}
 	return rtt, punted, err
@@ -468,6 +498,7 @@ func (e *Engine) SendTraffic(id uint32, count int) error {
 			return err
 		}
 		e.mTraffic.Add(int64(count))
+		e.stats.Traffic += int64(count)
 		return nil
 	}
 	if ts, ok := e.dev.(TrafficSender); ok {
@@ -477,6 +508,7 @@ func (e *Engine) SendTraffic(id uint32, count int) error {
 			return err
 		}
 		e.mTraffic.Add(int64(count))
+		e.stats.Traffic += int64(count)
 		return nil
 	}
 	for i := 0; i < count; i++ {
@@ -487,6 +519,7 @@ func (e *Engine) SendTraffic(id uint32, count int) error {
 			return err
 		}
 		e.mTraffic.Add(1)
+		e.stats.Traffic++
 	}
 	return nil
 }
@@ -584,6 +617,7 @@ func (e *Engine) InstallBatch(ids []uint32, p uint16) (int, error) {
 		fms[i] = flowMod(pattern.Op{Kind: pattern.OpAdd, FlowID: id, Priority: p})
 	}
 	e.mFlowMods.Add(int64(len(ids)))
+	e.stats.FlowMods += int64(len(ids))
 	errs, err := e.pipeDev.FlowModBatch(fms)
 	if err != nil {
 		return 0, err
@@ -612,6 +646,7 @@ func (e *Engine) ClearBatch(base, n uint32, p uint16) {
 		fms[i] = flowMod(pattern.Op{Kind: pattern.OpDel, FlowID: base + uint32(i), Priority: p})
 	}
 	e.mFlowMods.Add(int64(n))
+	e.stats.FlowMods += int64(n)
 	_, _ = e.pipeDev.FlowModBatch(fms)
 }
 

@@ -1,0 +1,523 @@
+// Package fleet is the continuous-inference controller service: it holds a
+// large mixed fleet of switches — in-process switchsim members on virtual
+// clocks and real-TCP members reached through an ofconn.Fleet — and
+// continuously probes, infers, and re-infers their properties, round after
+// round, the in-deployment regime of §5–6 of the Tango paper rather than a
+// one-off lab run.
+//
+// # Architecture
+//
+// Per-switch state (the probing engine, last inference, probe budget, RTT
+// samples) lives in one member struct owned by exactly one shard worker:
+// members are statically partitioned over a fixed worker pool by index
+// stride, so the hot path takes no global lock — workers touch disjoint
+// members, and cross-member aggregation happens only in the fold, on the
+// caller's goroutine, in member order. Measurement probes stay strictly
+// serial per switch (the invariant RTT clustering depends on: a queued
+// probe would fold queueing delay into the measured RTT), while installs
+// ride the pipelined async flow-mod channel; concurrency comes from
+// multiplexing many switches' serial schedules across the pool.
+//
+// # Pacing
+//
+// Each member carries a token-bucket probe budget (Options.ProbeRate):
+// rounds are admitted only while the bucket is solvent and are charged
+// their actual probe count afterwards, so a switch that overdraws simply
+// waits for refill instead of collapsing its neighbours' tail latency. A
+// global in-flight cap (Options.MaxInflight) bounds how many members may be
+// mid-round at once. Neither affects inference *results* — sim members run
+// on virtual clocks — only wall-clock scheduling.
+//
+// # Determinism
+//
+// For simulation-only fleets every inference outcome is a function of
+// (Options.Seed, member index, round) — never of the worker count or
+// wall-clock interleaving — so Result.Deterministic() is byte-identical at
+// 1 worker and N workers. TestFleetShardedDifferential enforces this.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"tango/internal/conformance"
+	"tango/internal/core/infer"
+	"tango/internal/core/pattern"
+	"tango/internal/core/probe"
+	"tango/internal/ofconn"
+	"tango/internal/simclock"
+	"tango/internal/switchsim"
+	"tango/internal/telemetry"
+)
+
+// Flow-ID regions keep the service's probe traffic disjoint: size probing
+// sweeps upward from sizeFlowBase with a fresh per-round block, cost
+// fitting uses MeasureCosts' own default block (3<<20), and the sentinel
+// RTT probe sits far above both.
+const (
+	probePriority        = 1000
+	sizeFlowBase  uint32 = 1 << 16
+	sentinelBase  uint32 = 1 << 30
+)
+
+// Options configures a fleet run. The zero value is a small all-simulation
+// fleet suitable for tests.
+type Options struct {
+	// Switches is the number of in-process simulated members (default 64).
+	// Their profiles are drawn by conformance.GenerateSpecs(Switches, Seed),
+	// so the fleet mixes policy-cache and TCAM-only hierarchies.
+	Switches int
+	// Workers is the shard worker-pool size (default GOMAXPROCS, capped at
+	// the member count). Workers=1 is the serial reference the differential
+	// test compares against.
+	Workers int
+	// Rounds is how many inference rounds Run executes per member (default
+	// 2). The Service ignores it and loops until stopped.
+	Rounds int
+	// Seed fixes every RNG: member profiles, switch latency draws, and the
+	// per-(member, round) inference seeds.
+	Seed int64
+	// MaxRules caps each size-inference round's probe rules (default 1024 —
+	// the generated profiles' bounded tables reject well before that).
+	MaxRules int
+	// Trials fixes the sampling trials per cache level (default 2, the
+	// scale harness' budget).
+	Trials int
+	// CostEvery runs control-channel cost fitting on simulated members
+	// every CostEvery-th round (default 2; negative disables). TCP members
+	// run cost fitting every round — it is their inference workload.
+	CostEvery int
+	// CostSamples is MeasureCosts' per-class op budget (default 32).
+	CostSamples int
+	// SentinelProbes is the per-round count of serial RTT measurement
+	// probes against a sentinel rule (default 8); their RTTs feed the
+	// fleet's p50/p99 and the flight tracks.
+	SentinelProbes int
+	// ProbeRate is each member's probe budget in probes/sec; 0 disables
+	// pacing (and keeps wall time deterministic-friendly). ProbeBurst is
+	// the bucket depth (default: one round's worth, 4*MaxRules).
+	ProbeRate  float64
+	ProbeBurst float64
+	// MaxInflight bounds how many members may be mid-round at once across
+	// all workers; 0 means no bound.
+	MaxInflight int
+	// TCP contributes real-TCP members: every member of the ofconn fleet
+	// joins the run under its member name. The caller keeps ownership of
+	// the fleet's lifecycle (see SpawnSimTCP for in-process servers).
+	TCP *ofconn.Fleet
+	// Registry receives the fleet-level fold (default: the process
+	// registry); per-member engines always record into private registries
+	// so the fold stays deterministic.
+	Registry *telemetry.Registry
+	// Flight receives per-switch sentinel RTT samples (default: the
+	// process flight recorder, if installed).
+	Flight *telemetry.FlightRecorder
+
+	// Test hooks for the pacing layer; nil means real time.
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Switches == 0 && o.TCP == nil {
+		o.Switches = 64
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 2
+	}
+	if o.MaxRules <= 0 {
+		o.MaxRules = 1024
+	}
+	if o.Trials <= 0 {
+		o.Trials = 2
+	}
+	if o.CostEvery == 0 {
+		o.CostEvery = 2
+	}
+	if o.CostSamples <= 0 {
+		o.CostSamples = 32
+	}
+	if o.SentinelProbes <= 0 {
+		o.SentinelProbes = 8
+	}
+	if o.ProbeBurst <= 0 {
+		o.ProbeBurst = float64(4 * o.MaxRules)
+	}
+	if o.Registry == nil {
+		o.Registry = telemetry.Default()
+	}
+	if o.Flight == nil {
+		o.Flight = telemetry.DefaultFlight()
+	}
+	return o
+}
+
+// SwitchSummary is one member's end-of-run ledger. Every field is a
+// deterministic function of (Options, member) for simulated members.
+type SwitchSummary struct {
+	Name string
+	// TCP marks real-TCP members (cost-fitting workload, wall-clock RTTs).
+	TCP bool
+	// Rounds completed, Inferences that succeeded, Errs that did not.
+	Rounds     int
+	Inferences int
+	Errs       int
+	// Levels and CacheSize echo the last successful size inference
+	// (simulated members only).
+	Levels    int
+	CacheSize int
+	// ScoreCards counts cost-fitting rounds that produced a card.
+	ScoreCards int
+	// Op totals from the engine's ledger.
+	FlowMods int64
+	Probes   int64
+	Punted   int64
+}
+
+// Result is a fleet run's folded outcome. The wall-derived fields (Wall,
+// SwitchesPerSec, FlowModsPerSec, ThrottleWait) and the Workers echo are
+// zeroed by Deterministic; everything else must be invariant under the
+// worker count for simulation-only fleets.
+type Result struct {
+	Switches    int // simulated members
+	TCPSwitches int
+	Workers     int
+	Rounds      int
+
+	// Inferences counts completed inference rounds fleet-wide (size rounds
+	// on simulated members, cost-fitting rounds on TCP members);
+	// InferErrs the failures. ScoreCards counts cost cards stored.
+	Inferences int
+	InferErrs  int
+	ScoreCards int
+
+	// Op totals across every member's engine ledger.
+	FlowMods int64
+	Probes   int64
+	Punted   int64
+
+	// Sentinel RTT distribution. Simulated members contribute virtual
+	// durations (deterministic); TCP members wall-clock ones.
+	RTTSamples  int
+	P50ProbeRTT time.Duration
+	P99ProbeRTT time.Duration
+
+	// Pacing activity: rounds that had to wait for budget, and for how
+	// long in total (wall-derived).
+	Throttles    int64
+	ThrottleWait time.Duration
+
+	PerSwitch []SwitchSummary
+
+	// Wall-clock measurements, set by Run/Service.Stop.
+	Wall           time.Duration
+	SwitchesPerSec float64 // completed inferences per second
+	FlowModsPerSec float64
+}
+
+// Deterministic returns a copy with the wall-derived fields and the
+// worker-count echo zeroed; for simulation-only fleets the remainder must
+// be invariant under Options.Workers.
+func (r *Result) Deterministic() *Result {
+	c := *r
+	c.Workers = 0
+	c.Wall, c.SwitchesPerSec, c.FlowModsPerSec = 0, 0, 0
+	// Pacing activity depends on wall-clock interleaving, not results.
+	c.Throttles, c.ThrottleWait = 0, 0
+	return &c
+}
+
+// member is one switch's continuously re-inferred state. Exactly one shard
+// worker touches a member during a round; the fold reads it only after the
+// round barrier.
+type member struct {
+	idx  int
+	name string
+	tcp  bool
+	sw   *switchsim.Switch // nil for TCP members
+	eng  *probe.Engine
+	reg  *telemetry.Registry
+	trk  *telemetry.FlightTrack
+	bkt  *tokenBucket
+
+	last      probe.EngineStats
+	rounds    int
+	infers    int
+	errs      int
+	cards     int
+	levels    int
+	cacheSize int
+	rtts      []time.Duration
+	throttles int64
+	throttle  time.Duration
+}
+
+// now returns the member's measurement timeline: the switch's virtual clock
+// for simulated members, wall time for TCP ones.
+func (m *member) now() time.Time {
+	if m.sw != nil {
+		return m.sw.Now()
+	}
+	return time.Now()
+}
+
+// runner owns a fleet's members and executes rounds over them. Run and
+// Service share it.
+type runner struct {
+	o       Options
+	members []*member
+	gate    chan struct{}
+	db      *pattern.DB
+}
+
+func newRunner(o Options) (*runner, error) {
+	o = o.withDefaults()
+	r := &runner{o: o, db: pattern.NewDB()}
+
+	specs := conformance.GenerateSpecs(o.Switches, o.Seed)
+	for i, spec := range specs {
+		name := fmt.Sprintf("sim-%03d", i)
+		sw := switchsim.New(spec.Profile,
+			switchsim.WithClock(simclock.NewVirtual()),
+			switchsim.WithSeed(spec.Seed),
+		)
+		m := &member{idx: i, name: name, sw: sw, reg: telemetry.NewRegistry()}
+		m.eng = probe.NewEngine(probe.SimDevice{S: sw})
+		r.initMember(m)
+	}
+	if o.TCP != nil {
+		for _, name := range o.TCP.Names() {
+			c, ok := o.TCP.Controller(name)
+			if !ok {
+				continue
+			}
+			m := &member{idx: len(r.members), name: name, tcp: true, reg: telemetry.NewRegistry()}
+			m.eng = probe.NewEngine(c)
+			r.initMember(m)
+		}
+	}
+	if len(r.members) == 0 {
+		return nil, fmt.Errorf("fleet: no members (Switches=0 and no TCP fleet)")
+	}
+	if r.o.Workers <= 0 {
+		r.o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if r.o.Workers > len(r.members) {
+		r.o.Workers = len(r.members)
+	}
+	if o.MaxInflight > 0 {
+		r.gate = make(chan struct{}, o.MaxInflight)
+	}
+	return r, nil
+}
+
+// initMember finishes a member's wiring: private telemetry (the engine's
+// wall-clock flight binding is dropped — the runner records its own samples
+// on the member timeline), the member-name label, pacing bucket, and the
+// fleet flight track.
+func (r *runner) initMember(m *member) {
+	m.eng.SetTelemetry(m.reg, nil)
+	m.eng.SetFlight(nil)
+	m.eng.SetLabel(m.name)
+	if r.o.Flight != nil {
+		m.trk = r.o.Flight.Track(m.name)
+	}
+	m.bkt = newTokenBucket(r.o.ProbeRate, r.o.ProbeBurst, r.o.now, r.o.sleep)
+	r.members = append(r.members, m)
+}
+
+// round executes one inference round for every member, shard-parallel when
+// Workers > 1. Members are strided over workers by index, so assignment —
+// and, per the determinism contract, everything else about the results — is
+// independent of scheduling.
+func (r *runner) round(n int) {
+	if r.o.Workers <= 1 {
+		for _, m := range r.members {
+			r.runMember(m, n)
+		}
+		return
+	}
+	done := make(chan struct{}, r.o.Workers)
+	for k := 0; k < r.o.Workers; k++ {
+		go func(k int) {
+			for i := k; i < len(r.members); i += r.o.Workers {
+				r.runMember(r.members[i], n)
+			}
+			done <- struct{}{}
+		}(k)
+	}
+	for k := 0; k < r.o.Workers; k++ {
+		<-done
+	}
+}
+
+// runMember is one member's round: budget admission, inference, cost
+// fitting, sentinel RTT probes, and the ledger update. All probes inside
+// are serial on the member's channel.
+func (r *runner) runMember(m *member, round int) {
+	if r.gate != nil {
+		r.gate <- struct{}{}
+		defer func() { <-r.gate }()
+	}
+	if w := m.bkt.admit(); w > 0 {
+		m.throttles++
+		m.throttle += w
+	}
+
+	if m.tcp {
+		// TCP members' per-round inference is control-channel cost fitting:
+		// robust under loopback jitter, unlike RTT-cluster size probing.
+		card, err := infer.MeasureCosts(m.eng, m.name, infer.CostOptions{Samples: r.o.CostSamples})
+		if err != nil {
+			m.errs++
+		} else {
+			r.db.PutScore(card)
+			m.cards++
+			m.infers++
+		}
+	} else {
+		base := sizeFlowBase + uint32(round)*uint32(2*r.o.MaxRules)
+		res, err := infer.ProbeSizes(m.eng, infer.SizeOptions{
+			Priority: probePriority,
+			MaxRules: r.o.MaxRules,
+			Trials:   r.o.Trials,
+			// Per-(member, round) seed: worker count must never reach the
+			// sampling RNG.
+			Seed:       r.o.Seed + int64(m.idx)*1_000_003 + int64(round)*7919,
+			FlowIDBase: base,
+		})
+		if err != nil {
+			m.errs++
+		} else {
+			m.infers++
+			m.levels = len(res.Levels)
+			if len(res.Levels) > 0 {
+				m.cacheSize = res.Levels[0].Census
+			}
+			m.eng.ClearProbeRules(base, uint32(res.RulesInstalled), probePriority)
+		}
+		if r.o.CostEvery > 0 && round%r.o.CostEvery == 0 {
+			card, err := infer.MeasureCosts(m.eng, m.name, infer.CostOptions{Samples: r.o.CostSamples})
+			if err != nil {
+				m.errs++
+			} else {
+				r.db.PutScore(card)
+				m.cards++
+			}
+		}
+	}
+
+	// Sentinel RTT probes: install one rule, measure it serially, remove
+	// it. These are the fleet's probe-latency signal under load.
+	sid := sentinelBase + uint32(round)
+	if err := m.eng.Install(sid, probePriority); err != nil {
+		m.errs++
+	} else {
+		for i := 0; i < r.o.SentinelProbes; i++ {
+			rtt, punted, err := m.eng.Probe(sid)
+			if err != nil {
+				m.errs++
+				break
+			}
+			m.rtts = append(m.rtts, rtt)
+			if m.trk != nil {
+				now := m.now()
+				m.trk.Record(now, now, rtt, sid, punted)
+			}
+		}
+		_ = m.eng.Delete(sid, probePriority)
+	}
+
+	m.rounds++
+	st := m.eng.Stats()
+	m.bkt.charge(float64(st.Probes - m.last.Probes))
+	m.last = st
+}
+
+// fold aggregates member state into a Result, always in member order, and
+// publishes the fleet-level metrics to the configured registry.
+func (r *runner) fold() *Result {
+	res := &Result{Workers: r.o.Workers}
+	var all []time.Duration
+	for _, m := range r.members {
+		if m.tcp {
+			res.TCPSwitches++
+		} else {
+			res.Switches++
+		}
+		if m.rounds > res.Rounds {
+			res.Rounds = m.rounds
+		}
+		st := m.eng.Stats()
+		res.FlowMods += st.FlowMods
+		res.Probes += st.Probes
+		res.Punted += st.Punted
+		res.Inferences += m.infers
+		res.InferErrs += m.errs
+		res.ScoreCards += m.cards
+		res.Throttles += m.throttles
+		res.ThrottleWait += m.throttle
+		all = append(all, m.rtts...)
+		res.PerSwitch = append(res.PerSwitch, SwitchSummary{
+			Name: m.name, TCP: m.tcp,
+			Rounds: m.rounds, Inferences: m.infers, Errs: m.errs,
+			Levels: m.levels, CacheSize: m.cacheSize, ScoreCards: m.cards,
+			FlowMods: st.FlowMods, Probes: st.Probes, Punted: st.Punted,
+		})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.RTTSamples = len(all)
+	if n := len(all); n > 0 {
+		res.P50ProbeRTT = all[n/2]
+		res.P99ProbeRTT = all[min(n-1, n*99/100)]
+	}
+
+	reg := r.o.Registry
+	reg.Counter("fleet.inferences").Add(int64(res.Inferences))
+	reg.Counter("fleet.infer_errs").Add(int64(res.InferErrs))
+	reg.Counter("fleet.flow_mods").Add(res.FlowMods)
+	reg.Counter("fleet.probes").Add(res.Probes)
+	reg.Counter("fleet.throttles").Add(res.Throttles)
+	reg.Gauge("fleet.switches").Set(int64(res.Switches + res.TCPSwitches))
+	rounds := reg.CounterVec("fleet.rounds", "switch")
+	for _, s := range res.PerSwitch {
+		rounds.With(s.Name).Add(int64(s.Rounds))
+	}
+	hist := reg.Histogram("fleet.probe_rtt_ns")
+	for _, d := range all {
+		hist.Observe(float64(d))
+	}
+	return res
+}
+
+// Scores returns the score database the run's cost fitting filled — the
+// scheduler's cost oracle for the whole fleet.
+func (r *runner) scores() *pattern.DB { return r.db }
+
+// Run executes Options.Rounds inference rounds over the fleet and returns
+// the folded result with wall-clock rates.
+func Run(o Options) (*Result, error) {
+	r, err := newRunner(o)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for n := 0; n < r.o.Rounds; n++ {
+		r.round(n)
+	}
+	wall := time.Since(start)
+	res := r.fold()
+	res.finishRates(wall)
+	return res, nil
+}
+
+// finishRates stamps the wall-derived throughput fields.
+func (r *Result) finishRates(wall time.Duration) {
+	r.Wall = wall
+	if wall > 0 {
+		r.SwitchesPerSec = float64(r.Inferences) / wall.Seconds()
+		r.FlowModsPerSec = float64(r.FlowMods) / wall.Seconds()
+	}
+}

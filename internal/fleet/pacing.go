@@ -1,0 +1,79 @@
+package fleet
+
+import "time"
+
+// tokenBucket is a member's probe budget: rate tokens/sec refill up to
+// burst, a round is admitted only while the bucket is solvent, and its
+// actual probe spend is charged afterwards — possibly driving the balance
+// negative, which the next admit waits out. Charging actuals (instead of
+// predicting a round's cost) keeps admission honest for rounds whose probe
+// count is data-dependent, at the cost of at most one burst of overdraft.
+//
+// A bucket belongs to exactly one member and is only touched by the worker
+// running that member's round, so it needs no lock. A nil bucket (rate 0)
+// is the unlimited budget: both methods are nil-safe no-ops, which also
+// keeps deterministic runs free of wall-clock reads.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+	sleep  func(time.Duration)
+}
+
+// newTokenBucket returns a bucket starting full, or nil (unlimited) when
+// rate <= 0. now/sleep default to real time; tests inject fakes.
+func newTokenBucket(rate, burst float64, now func() time.Time, sleep func(time.Duration)) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = rate
+	}
+	if now == nil {
+		now = time.Now
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	b := &tokenBucket{rate: rate, burst: burst, tokens: burst, now: now, sleep: sleep}
+	b.last = now()
+	return b
+}
+
+// refill accrues tokens for the time since the last touch, capped at burst.
+func (b *tokenBucket) refill() {
+	n := b.now()
+	b.tokens += n.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = n
+}
+
+// admit blocks until the bucket is solvent (tokens >= 0) and returns how
+// long it waited.
+func (b *tokenBucket) admit() time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.refill()
+	if b.tokens >= 0 {
+		return 0
+	}
+	wait := time.Duration(-b.tokens / b.rate * float64(time.Second))
+	b.sleep(wait)
+	b.refill()
+	return wait
+}
+
+// charge debits n tokens without blocking; the balance may go negative
+// (overdraft), deferring the cost to the next admit.
+func (b *tokenBucket) charge(n float64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.refill()
+	b.tokens -= n
+}

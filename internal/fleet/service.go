@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"tango/internal/core/pattern"
+)
+
+// Service is the long-running form of the fleet: Start spins the round loop
+// on its own goroutine and it re-infers every member continuously until
+// Stop. cmd/tangofleet wraps it behind signal handling and the telemetry
+// HTTP exporter.
+type Service struct {
+	r     *runner
+	start time.Time
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+
+	mu     sync.Mutex
+	rounds int
+	res    *Result
+}
+
+// Start builds the fleet and begins the continuous round loop.
+// Options.Rounds is ignored — the service runs until Stop.
+func Start(o Options) (*Service, error) {
+	r, err := newRunner(o)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{r: r, start: time.Now(), stop: make(chan struct{}), done: make(chan struct{})}
+	go s.loop()
+	return s, nil
+}
+
+func (s *Service) loop() {
+	defer close(s.done)
+	// Live progress gauges for the HTTP exporter while the service runs;
+	// counters and histograms are published once, by the Stop-time fold
+	// (Counter.Add accumulates, so folding repeatedly would double-count).
+	roundsG := s.r.o.Registry.Gauge("fleet.rounds_completed")
+	infersG := s.r.o.Registry.Gauge("fleet.inferences_live")
+	errsG := s.r.o.Registry.Gauge("fleet.infer_errs_live")
+	s.r.o.Registry.Gauge("fleet.switches").Set(int64(len(s.r.members)))
+	for n := 0; ; n++ {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		s.r.round(n)
+		var infers, errs int
+		for _, m := range s.r.members {
+			infers += m.infers
+			errs += m.errs
+		}
+		roundsG.Set(int64(n + 1))
+		infersG.Set(int64(infers))
+		errsG.Set(int64(errs))
+		s.mu.Lock()
+		s.rounds = n + 1
+		s.mu.Unlock()
+	}
+}
+
+// Rounds reports how many complete rounds the loop has finished.
+func (s *Service) Rounds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rounds
+}
+
+// Members reports the fleet size (simulated + TCP).
+func (s *Service) Members() int { return len(s.r.members) }
+
+// Scores returns the live score database the service's cost fitting fills.
+// pattern.DB is safe for concurrent readers.
+func (s *Service) Scores() *pattern.DB { return s.r.scores() }
+
+// Stop ends the round loop after the in-progress round's barrier, folds the
+// fleet, and returns the result. Idempotent: later calls return the same
+// result.
+func (s *Service) Stop() *Result {
+	s.once.Do(func() {
+		close(s.stop)
+		<-s.done
+		wall := time.Since(s.start)
+		s.mu.Lock()
+		s.res = s.r.fold()
+		s.res.finishRates(wall)
+		s.mu.Unlock()
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.res
+}

@@ -17,9 +17,11 @@ import (
 	"tango/internal/switchsim"
 )
 
-// asyncWindow bounds how many flow-mods may be in flight — queued without a
-// completed covering barrier. Issuing past the window flushes it first, so
-// a runaway caller cannot build an unbounded backlog of unconfirmed ops.
+// asyncWindow is the default bound on how many flow-mods may be in flight —
+// queued without a completed covering barrier. Issuing past the window
+// flushes it first, so a runaway caller cannot build an unbounded backlog
+// of unconfirmed ops. ControllerOptions.AsyncWindow overrides it per
+// connection; window 1 degenerates to serial (one barrier per op).
 const asyncWindow = 64
 
 // wireFrame is one encoded message bound for the writer goroutine. A nil
@@ -104,7 +106,7 @@ func (cp *Completion) Err() (err error, ok bool) {
 // is confirmed only when a trailing barrier covers it: Completion.Wait (or
 // Flush) reports the outcome, mapping table-full rejections to
 // switchsim.ErrTableFull exactly like the synchronous path. At most
-// asyncWindow ops may be outstanding; issuing past the window first
+// ControllerOptions.AsyncWindow ops may be outstanding; issuing past the window first
 // flushes it, and a flush-level (channel) failure surfaces here with
 // nothing left pending. Per-op rejections inside that forced flush do not
 // surface here — they belong to their own completions.
@@ -116,7 +118,7 @@ func (c *Controller) FlowModAsync(fm *openflow.FlowMod) (*Completion, error) {
 	}
 	a := &c.async
 	a.mu.Lock()
-	full := len(a.window) >= asyncWindow
+	full := len(a.window) >= c.window
 	a.mu.Unlock()
 	if full {
 		if _, err := c.flushWindow(); err != nil {
@@ -334,7 +336,7 @@ func (c *Controller) enqueueLocked(f wireFrame) error {
 		return ErrClosed
 	}
 	if !a.started {
-		a.queue = make(chan wireFrame, 2*asyncWindow+2)
+		a.queue = make(chan wireFrame, 2*c.window+2)
 		a.started = true
 		a.wg.Add(1)
 		go c.asyncWriter()

@@ -33,6 +33,9 @@ type Controller struct {
 
 	features *openflow.FeaturesReply
 	timeout  time.Duration
+	// window is the resolved async in-flight bound (ControllerOptions.
+	// AsyncWindow, defaulted); immutable after construction.
+	window int
 
 	// async is the pipelined send path (FlowModAsync / Flush); see async.go.
 	async asyncState
@@ -55,6 +58,13 @@ type ControllerOptions struct {
 	// injection, flaky networks) so drops surface as ErrTimeout instead
 	// of hangs.
 	Timeout time.Duration
+	// AsyncWindow bounds how many pipelined flow-mods may be in flight
+	// before FlowModAsync forces a flush (see async.go). Zero selects the
+	// default (64); 1 degenerates to fully serial behaviour — every op is
+	// confirmed by its own barrier before the next is issued — which the
+	// fleet service and benchmarks use to measure pipelining wins.
+	// Negative values are rejected by the constructors.
+	AsyncWindow int
 }
 
 // ctrlTelemetry bundles the controller-side handles, resolved once at
@@ -147,12 +157,21 @@ func NewController(conn net.Conn) (*Controller, error) {
 
 // NewControllerOptions is NewController with explicit telemetry bindings.
 func NewControllerOptions(conn net.Conn, opts ControllerOptions) (*Controller, error) {
+	if opts.AsyncWindow < 0 {
+		conn.Close()
+		return nil, fmt.Errorf("ofconn: AsyncWindow %d is negative", opts.AsyncWindow)
+	}
+	window := opts.AsyncWindow
+	if window == 0 {
+		window = asyncWindow
+	}
 	c := &Controller{
 		conn:    conn,
 		pending: make(map[uint32]chan openflow.Message),
 		closed:  make(chan struct{}),
 		notify:  make(chan openflow.Message, 256),
 		timeout: opts.Timeout,
+		window:  window,
 	}
 	c.tel.init(opts)
 	c.tel.tracer.Instant("ofconn.dial", "", map[string]any{"remote": conn.RemoteAddr().String()})

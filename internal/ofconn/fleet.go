@@ -3,6 +3,7 @@ package ofconn
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -14,10 +15,16 @@ import (
 // Fleet manages a controller's OpenFlow connections to a set of switches
 // and probes each of them into a shared Tango score database — the
 // controller-side assembly of Figure 4: Probing Engine feeding the Score
-// Database feeding the Network Scheduler.
+// Database feeding the Network Scheduler. All methods are safe for
+// concurrent use; the continuous-inference service (internal/fleet) mutates
+// membership while probes are in flight.
 type Fleet struct {
 	mu      sync.Mutex
 	members map[string]*Controller
+	// names caches the sorted member-name slice; nil means dirty. Every
+	// mutation (Connect/Close) invalidates it, so repeated Names/ProbeAll
+	// calls on a stable fleet sort once, not per call.
+	names []string
 }
 
 // NewFleet returns an empty fleet.
@@ -28,7 +35,14 @@ func NewFleet() *Fleet {
 // Connect dials a switch and adds it under the given name, replacing (and
 // closing) any previous member with that name.
 func (f *Fleet) Connect(name, addr string) error {
-	c, err := Dial(addr)
+	return f.ConnectOptions(name, addr, ControllerOptions{})
+}
+
+// ConnectOptions is Connect with explicit controller options (reply
+// timeout, async window, telemetry bindings) — the fleet service uses it to
+// tune in-flight depth per member.
+func (f *Fleet) ConnectOptions(name, addr string, opts ControllerOptions) error {
+	c, err := DialOptions(addr, opts)
 	if err != nil {
 		return fmt.Errorf("ofconn: fleet connect %s: %w", name, err)
 	}
@@ -38,6 +52,7 @@ func (f *Fleet) Connect(name, addr string) error {
 		old.Close()
 	}
 	f.members[name] = c
+	f.names = nil
 	return nil
 }
 
@@ -49,16 +64,31 @@ func (f *Fleet) Controller(name string) (*Controller, bool) {
 	return c, ok
 }
 
-// Names returns member names, sorted.
+// Names returns member names, sorted. The returned slice is shared between
+// callers and must not be mutated; membership changes produce a fresh
+// slice, so a held snapshot stays internally consistent.
 func (f *Fleet) Names() []string {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	out := make([]string, 0, len(f.members))
-	for n := range f.members {
-		out = append(out, n)
+	return f.namesLocked()
+}
+
+func (f *Fleet) namesLocked() []string {
+	if f.names == nil {
+		f.names = make([]string, 0, len(f.members))
+		for n := range f.members {
+			f.names = append(f.names, n)
+		}
+		sort.Strings(f.names)
 	}
-	sort.Strings(out)
-	return out
+	return f.names
+}
+
+// Len returns the member count.
+func (f *Fleet) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.members)
 }
 
 // Engines returns one probing engine per member, keyed by name — the map
@@ -78,41 +108,70 @@ func (f *Fleet) Engines() map[string]*probe.Engine {
 }
 
 // ProbeAll fits a control-channel score card for every member and stores
-// them in db under the member names. Members are probed concurrently —
-// each probe only loads its own switch.
+// them in db under the member names. Members are probed concurrently on a
+// bounded worker pool (GOMAXPROCS wide) — each probe only loads its own
+// switch, and the pool keeps a large fleet from dialing up one goroutine
+// per member. The aggregated error lists member failures in sorted member
+// order, deterministically; match individual causes with errors.Is/As.
 func (f *Fleet) ProbeAll(db *pattern.DB, opts infer.CostOptions) error {
+	return f.ProbeAllN(db, opts, 0)
+}
+
+// ProbeAllN is ProbeAll with an explicit worker bound (0 = GOMAXPROCS,
+// 1 = serial).
+func (f *Fleet) ProbeAllN(db *pattern.DB, opts infer.CostOptions, workers int) error {
+	// Snapshot membership; members removed concurrently are skipped (their
+	// slot stays nil), members added concurrently are not probed.
 	f.mu.Lock()
-	members := make(map[string]*Controller, len(f.members))
-	for n, c := range f.members {
-		members[n] = c
+	names := append([]string(nil), f.namesLocked()...)
+	ctrls := make([]*Controller, len(names))
+	for i, n := range names {
+		ctrls[i] = f.members[n]
 	}
 	f.mu.Unlock()
 
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	// One slot per member: workers write disjoint indexes, and the join
+	// below reads them in sorted member order, so the aggregate error is
+	// identical at any worker count.
+	errs := make([]error, len(names))
+	next := make(chan int, len(names))
+	for i := range names {
+		next <- i
+	}
+	close(next)
 	var wg sync.WaitGroup
-	errs := make(chan error, len(members))
-	for name, c := range members {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(name string, c *Controller) {
+		go func() {
 			defer wg.Done()
-			e := probe.NewEngine(c)
-			e.SetLabel(name)
-			card, err := infer.MeasureCosts(e, name, opts)
-			if err != nil {
-				errs <- fmt.Errorf("ofconn: probing %s: %w", name, err)
-				return
+			for i := range next {
+				c := ctrls[i]
+				if c == nil {
+					continue
+				}
+				e := probe.NewEngine(c)
+				e.SetLabel(names[i])
+				card, err := infer.MeasureCosts(e, names[i], opts)
+				if err != nil {
+					errs[i] = fmt.Errorf("ofconn: probing %s: %w", names[i], err)
+					continue
+				}
+				db.PutScore(card)
 			}
-			db.PutScore(card)
-		}(name, c)
+		}()
 	}
 	wg.Wait()
-	close(errs)
-	// Surface every member's failure, not just the first drained: with the
-	// probes running concurrently, "first" was arbitrary and the rest were
-	// silently discarded. Member order in the error is nondeterministic
-	// (map iteration + goroutine scheduling); match with errors.Is/As.
 	var all []error
-	for err := range errs {
-		all = append(all, err)
+	for _, err := range errs {
+		if err != nil {
+			all = append(all, err)
+		}
 	}
 	return errors.Join(all...)
 }
@@ -125,4 +184,5 @@ func (f *Fleet) Close() {
 		c.Close()
 	}
 	f.members = map[string]*Controller{}
+	f.names = nil
 }

@@ -1,0 +1,359 @@
+package ofconn
+
+import (
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tango/internal/core/infer"
+	"tango/internal/core/pattern"
+	"tango/internal/switchsim"
+	"tango/internal/telemetry"
+)
+
+// leakCheck snapshots the goroutine count and returns a func that fails the
+// test if the count has not returned to the baseline within a few seconds —
+// the assertion that Shutdown releases every server goroutine.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestAsyncWindowOneSerial pins the satellite contract: AsyncWindow=1
+// degenerates the pipelined path to serial behaviour. Every FlowModAsync
+// past the first forces a flush of its predecessor, so after issuing op i
+// the completion for op i-1 is already resolved and exactly one XID is ever
+// pending; the flush counter records one barrier per op.
+func TestAsyncWindowOneSerial(t *testing.T) {
+	sw := switchsim.New(switchsim.Switch2(), switchsim.WithClock(fastClock()))
+	addr := startSwitch(t, sw)
+	reg := telemetry.NewRegistry()
+	c, err := DialOptions(addr, ControllerOptions{AsyncWindow: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 9
+	comps := make([]*Completion, n)
+	for i := 0; i < n; i++ {
+		cp, err := c.FlowModAsync(probeAdd(uint32(i)))
+		if err != nil {
+			t.Fatalf("FlowModAsync %d: %v", i, err)
+		}
+		comps[i] = cp
+		if i > 0 {
+			if err, ok := comps[i-1].Err(); !ok {
+				t.Fatalf("op %d unresolved after issuing op %d: window=1 must be serial", i-1, i)
+			} else if err != nil {
+				t.Fatalf("op %d: %v", i-1, err)
+			}
+		}
+		if got := c.pendingLen(); got != 1 {
+			t.Fatalf("after op %d: pending XIDs = %d, want 1", i, got)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := comps[n-1].Wait(); err != nil {
+		t.Fatalf("last op: %v", err)
+	}
+	// n-1 forced flushes plus the explicit one: one barrier per op.
+	if got := reg.Counter("ofconn.controller.async_flushes").Value(); got != n {
+		t.Fatalf("async_flushes = %d, want %d (one per op)", got, n)
+	}
+	flows, err := c.FlowStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != n {
+		t.Fatalf("installed %d rules, want %d", len(flows), n)
+	}
+}
+
+// TestAsyncWindowValidation rejects negative windows at construction and
+// accepts an explicit override larger than the default.
+func TestAsyncWindowValidation(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	if _, err := NewControllerOptions(client, ControllerOptions{AsyncWindow: -1}); err == nil {
+		t.Fatal("AsyncWindow=-1 accepted, want error")
+	} else if !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("error %q does not name the negative window", err)
+	}
+
+	sw := switchsim.New(switchsim.Switch2(), switchsim.WithClock(fastClock()))
+	addr := startSwitch(t, sw)
+	c, err := DialOptions(addr, ControllerOptions{AsyncWindow: 3 * asyncWindow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.window != 3*asyncWindow {
+		t.Fatalf("window = %d, want %d", c.window, 3*asyncWindow)
+	}
+	// Zero still selects the default.
+	c2, err := DialOptions(addr, ControllerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.window != asyncWindow {
+		t.Fatalf("default window = %d, want %d", c2.window, asyncWindow)
+	}
+}
+
+// TestServerShutdownDrains is the graceful path: a server under live traffic
+// shuts down within grace, Serve returns nil, in-flight operations either
+// complete or fail with a connection error (never hang), and every server
+// goroutine is released.
+func TestServerShutdownDrains(t *testing.T) {
+	check := leakCheck(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := switchsim.New(switchsim.Switch2(), switchsim.WithClock(fastClock()))
+	srv := NewServer(ln, sw, ServeOptions{Metrics: telemetry.NewRegistry()})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Live traffic across the shutdown: ops complete until the half-close
+	// cuts the request stream, then fail fast with a connection error.
+	opsDone := make(chan error, 1)
+	go func() {
+		for i := 0; ; i++ {
+			if err := c.FlowMod(probeAdd(uint32(i))); err != nil {
+				opsDone <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let some ops land
+
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("Shutdown: %v (want graceful drain, not forced)", err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve after Shutdown: %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	select {
+	case err := <-opsDone:
+		if err == nil {
+			t.Fatal("op loop ended without an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight op hung across Shutdown: drain failed")
+	}
+	// Installed state survived: at least one op drained before the cut.
+	if tcam, hw, sv := sw.RuleCount(); tcam+hw+sv == 0 {
+		t.Fatal("no ops landed before shutdown")
+	}
+	// New connections are refused.
+	if c2, err := Dial(srv.Addr().String()); err == nil {
+		c2.Close()
+		t.Fatal("dial after shutdown succeeded")
+	}
+	// Idempotent.
+	if err := srv.Shutdown(time.Second); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	c.Close()
+	check()
+}
+
+// TestServerShutdownImmediate covers grace<=0: connections are force-closed,
+// Shutdown still returns promptly with every goroutine released, and clients
+// see connection errors rather than hangs.
+func TestServerShutdownImmediate(t *testing.T) {
+	check := leakCheck(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := switchsim.New(switchsim.Switch2(), switchsim.WithClock(fastClock()))
+	srv := NewServer(ln, sw, ServeOptions{Metrics: telemetry.NewRegistry()})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := srv.Shutdown(0); err != nil {
+		t.Fatalf("Shutdown(0): %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- c.FlowMod(probeAdd(1)) }()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("op on force-closed server succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("op on force-closed server hung")
+	}
+	c.Close()
+	check()
+}
+
+// TestFleetConcurrentUse exercises the fleet's locking under -race:
+// Connect/Names/Controller/Len/ProbeAll racing from several goroutines, with
+// member replacement (Connect on an existing name closes the old
+// controller).
+func TestFleetConcurrentUse(t *testing.T) {
+	fleet := NewFleet()
+	defer fleet.Close()
+	sw := switchsim.New(switchsim.Switch1(), switchsim.WithClock(fastClock()))
+	addr := startSwitch(t, sw)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := []string{"a", "b", "c", "d"}
+			for i := 0; i < 8; i++ {
+				name := names[(w+i)%len(names)]
+				if err := fleet.Connect(name, addr); err != nil {
+					t.Errorf("Connect %s: %v", name, err)
+					return
+				}
+				fleet.Names()
+				fleet.Controller(name)
+				fleet.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := fleet.Names()
+	want := []string{"a", "b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+	db := pattern.NewDB()
+	if err := fleet.ProbeAll(db, infer.CostOptions{Samples: 8}); err != nil {
+		t.Fatalf("ProbeAll: %v", err)
+	}
+	for _, n := range want {
+		if _, ok := db.Score(n); !ok {
+			t.Fatalf("no score card for %s", n)
+		}
+	}
+}
+
+// TestFleetNamesCached proves the sorted-names cache: a stable fleet returns
+// the identical slice across calls (no re-sort), and any mutation
+// invalidates it.
+func TestFleetNamesCached(t *testing.T) {
+	fleet := NewFleet()
+	defer fleet.Close()
+	sw := switchsim.New(switchsim.Switch1(), switchsim.WithClock(fastClock()))
+	addr := startSwitch(t, sw)
+	for _, n := range []string{"b", "a"} {
+		if err := fleet.Connect(n, addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := fleet.Names()
+	second := fleet.Names()
+	if len(first) != 2 || first[0] != "a" || first[1] != "b" {
+		t.Fatalf("names = %v", first)
+	}
+	if &first[0] != &second[0] {
+		t.Fatal("stable fleet re-built the names slice; cache not in effect")
+	}
+	if err := fleet.Connect("c", addr); err != nil {
+		t.Fatal(err)
+	}
+	third := fleet.Names()
+	if len(third) != 3 || third[2] != "c" {
+		t.Fatalf("names after Connect = %v", third)
+	}
+	if len(first) != 2 {
+		t.Fatal("held snapshot mutated by later Connect")
+	}
+}
+
+// TestFleetProbeAllDeterministicErrors proves the satellite's aggregation
+// contract: member failures surface in sorted member order regardless of the
+// worker count, so the joined error text is identical serial vs parallel.
+func TestFleetProbeAllDeterministicErrors(t *testing.T) {
+	build := func() *Fleet {
+		t.Helper()
+		fleet := NewFleet()
+		t.Cleanup(fleet.Close)
+		for _, n := range []string{"s1", "s2", "s3", "s4"} {
+			sw := switchsim.New(switchsim.Switch1(), switchsim.WithClock(fastClock()))
+			if err := fleet.Connect(n, startSwitch(t, sw)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Kill two members: their probes fail with ErrClosed, the others
+		// succeed.
+		for _, n := range []string{"s2", "s4"} {
+			c, ok := fleet.Controller(n)
+			if !ok {
+				t.Fatalf("member %s missing", n)
+			}
+			c.Close()
+		}
+		return fleet
+	}
+	texts := make([]string, 2)
+	for i, workers := range []int{1, 4} {
+		db := pattern.NewDB()
+		err := build().ProbeAllN(db, infer.CostOptions{Samples: 8}, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: no error from dead members", workers)
+		}
+		texts[i] = err.Error()
+		for _, n := range []string{"s1", "s3"} {
+			if _, ok := db.Score(n); !ok {
+				t.Fatalf("workers=%d: live member %s missing a score card", workers, n)
+			}
+		}
+		if i2 := strings.Index(texts[i], "s2"); i2 < 0 || i2 > strings.Index(texts[i], "s4") {
+			t.Fatalf("workers=%d: failures out of member order: %q", workers, texts[i])
+		}
+	}
+	if texts[0] != texts[1] {
+		t.Fatalf("aggregate error differs by worker count:\n  1: %q\n  4: %q", texts[0], texts[1])
+	}
+}

@@ -12,9 +12,11 @@ package ofconn
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net"
+	"sync"
 	"time"
 
 	"tango/internal/faults"
@@ -65,6 +67,29 @@ func Serve(ln net.Listener, sw *switchsim.Switch) error {
 
 // ServeWith is Serve with an injectable logger and telemetry.
 func ServeWith(ln net.Listener, sw *switchsim.Switch, opts ServeOptions) error {
+	return NewServer(ln, sw, opts).Serve()
+}
+
+// Server is a stoppable switch-side listener: the same accept/agent loop
+// ServeWith runs, plus connection tracking so Shutdown can drain in-flight
+// operations and release every goroutine — the lifecycle cmd/switchd and
+// the fleet service's in-process TCP members need. Construct with
+// NewServer, run Serve on its own goroutine, stop with Shutdown.
+type Server struct {
+	ln   net.Listener
+	sw   *switchsim.Switch
+	lg   *log.Logger
+	tel  serverTelemetry
+	inj  *faults.Injector
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	conns   map[net.Conn]struct{}
+	closing bool
+}
+
+// NewServer wraps an established listener; options resolve exactly as in
+// ServeWith.
+func NewServer(ln net.Listener, sw *switchsim.Switch, opts ServeOptions) *Server {
 	lg := opts.Logger
 	if lg == nil {
 		lg = log.Default()
@@ -77,34 +102,126 @@ func ServeWith(ln net.Listener, sw *switchsim.Switch, opts ServeOptions) error {
 	if tr == nil {
 		tr = telemetry.DefaultTracer()
 	}
-	tel := serverTelemetry{
-		tracer:   tr,
-		accepted: reg.Counter("ofconn.accepted"),
-		active:   reg.Gauge("ofconn.active_conns"),
-		msgsIn:   reg.Counter("ofconn.msgs_in"),
-		msgsOut:  reg.Counter("ofconn.msgs_out"),
-		connErrs: reg.Counter("ofconn.conn_errors"),
+	return &Server{
+		ln: ln, sw: sw, lg: lg, inj: opts.Faults,
+		conns: make(map[net.Conn]struct{}),
+		tel: serverTelemetry{
+			tracer:   tr,
+			accepted: reg.Counter("ofconn.accepted"),
+			active:   reg.Gauge("ofconn.active_conns"),
+			msgsIn:   reg.Counter("ofconn.msgs_in"),
+			msgsOut:  reg.Counter("ofconn.msgs_out"),
+			connErrs: reg.Counter("ofconn.conn_errors"),
+		},
 	}
+}
+
+// Addr returns the listener's address (useful with ":0" listeners).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve runs the accept loop until the listener fails or Shutdown is
+// called; a Shutdown-initiated stop returns nil, an external listener
+// failure returns its error — so ServeWith keeps its historical contract.
+func (s *Server) Serve() error {
 	for {
-		conn, err := ln.Accept()
+		conn, err := s.ln.Accept()
 		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return nil
+			}
 			return err
 		}
-		tel.accepted.Add(1)
-		tel.active.Add(1)
-		tel.tracer.Instant("ofconn.accept", "", map[string]any{"remote": conn.RemoteAddr().String()})
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.tel.accepted.Add(1)
+		s.tel.active.Add(1)
+		s.tel.tracer.Instant("ofconn.accept", "", map[string]any{"remote": conn.RemoteAddr().String()})
 		go func() {
 			defer func() {
 				conn.Close()
-				tel.active.Add(-1)
-				tel.tracer.Instant("ofconn.close", "", map[string]any{"remote": conn.RemoteAddr().String()})
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				s.tel.active.Add(-1)
+				s.tel.tracer.Instant("ofconn.close", "", map[string]any{"remote": conn.RemoteAddr().String()})
+				s.wg.Done()
 			}()
-			if err := handleConn(conn, sw, tel, opts.Faults); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				tel.connErrs.Add(1)
-				lg.Printf("ofconn: connection from %v ended: %v", conn.RemoteAddr(), err)
+			if err := handleConn(conn, s.sw, s.tel, s.inj); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.tel.connErrs.Add(1)
+				s.lg.Printf("ofconn: connection from %v ended: %v", conn.RemoteAddr(), err)
 			}
 		}()
 	}
+}
+
+// readCloser is the half-close capability Shutdown prefers: stopping the
+// request stream while leaving the write side open lets the agent loop
+// finish writing the in-flight operation's replies. *net.TCPConn has it.
+type readCloser interface{ CloseRead() error }
+
+// Shutdown stops the server gracefully: the listener closes (no new
+// connections), every open connection's read side is shut so its agent
+// loop drains the operation it is processing — replies still go out — and
+// the handler goroutines are awaited. Connections that have not drained
+// when grace elapses (or that cannot half-close) are force-closed, so
+// Shutdown always returns with every server goroutine released. It is
+// idempotent; grace <= 0 force-closes immediately.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closing = true
+	open := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		open = append(open, c)
+	}
+	s.mu.Unlock()
+
+	err := s.ln.Close()
+	forced := false
+	if grace > 0 {
+		for _, c := range open {
+			if rc, ok := c.(readCloser); ok {
+				_ = rc.CloseRead()
+			} else {
+				// No half-close (e.g. net.Pipe): the handler only unblocks
+				// on a full close; the current op's replies may be cut.
+				c.Close()
+			}
+		}
+		done := make(chan struct{})
+		go func() { s.wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(grace):
+			forced = true
+		}
+	}
+	// Force-close stragglers (and the grace<=0 path); handlers see
+	// net.ErrClosed and exit without logging noise.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if forced && err == nil {
+		err = fmt.Errorf("ofconn: shutdown forced after %v grace", grace)
+	}
+	return err
 }
 
 // handshakeMsg reports whether msg belongs to the connection handshake.

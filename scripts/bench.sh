@@ -3,16 +3,16 @@
 # snapshot (ns/op plus each benchmark's custom metrics) so every PR leaves a
 # point on the perf trajectory.
 #
-#   scripts/bench.sh                           # writes BENCH_9.json
-#   OUT=BENCH_10.json BASELINE=BENCH_9.json scripts/bench.sh  # next PR
+#   scripts/bench.sh                           # writes BENCH_10.json
+#   OUT=BENCH_11.json BASELINE=BENCH_10.json scripts/bench.sh  # next PR
 #   BENCH='Table1' COUNT=5 scripts/bench.sh    # subset / more repeats
 #   BASELINE=old.json scripts/bench.sh         # embed old.json as "baseline"
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${OUT:-BENCH_9.json}
-BASELINE=${BASELINE:-BENCH_8.json}
-BENCH=${BENCH:-'Table1|SizeInference|PolicyInference|Figure3b|Figure3c|SchedRun|TangoOrder|TelemetryVecRecord|Adversarial|ClassifyExact|DemoteChurn|ScaleHarness|VirtualNowParallel'}
+OUT=${OUT:-BENCH_10.json}
+BASELINE=${BASELINE:-BENCH_9.json}
+BENCH=${BENCH:-'Table1|SizeInference|PolicyInference|Figure3b|Figure3c|SchedRun|TangoOrder|TelemetryVecRecord|Adversarial|ClassifyExact|DemoteChurn|ScaleHarness|VirtualNowParallel|FleetSustained'}
 COUNT=${COUNT:-3}
 
 # The switchsim and simclock micro-benchmarks (exact-match lookup, LRU
